@@ -1,0 +1,95 @@
+// Command calibrate measures the synthetic benchmarks against their
+// calibration targets (paper Table 2): static size, compression ratios,
+// dynamic instruction count and I-cache miss ratios. It is the tool used
+// to tune the profiles in internal/synth; the experiment harness proper
+// lives in cmd/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/compress/lzrw1"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 1.0, "dynamic length multiplier")
+	slow := flag.Bool("slowdown", false, "also measure D/CP slowdowns at 16KB")
+	only := flag.String("only", "", "run a single benchmark")
+	flag.Parse()
+
+	fmt.Printf("%-12s %8s %6s %6s %6s %8s  %7s %7s %7s",
+		"bench", "sizeKB", "dict", "cp", "lzrw1", "Minstr", "m4K", "m16K", "m64K")
+	if *slow {
+		fmt.Printf(" %6s %6s", "D", "CP")
+	}
+	fmt.Println()
+
+	for _, p := range synth.Benchmarks() {
+		if *only != "" && p.Name != *only {
+			continue
+		}
+		p = p.Scale(*scale)
+		im, err := synth.Build(p)
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name, err)
+		}
+		text := im.Segment(program.SegText)
+
+		dictRes, err := core.Compress(im, core.Options{Scheme: program.SchemeDict})
+		if err != nil {
+			log.Fatalf("%s dict: %v", p.Name, err)
+		}
+		cpRes, err := core.Compress(im, core.Options{Scheme: program.SchemeCodePack})
+		if err != nil {
+			log.Fatalf("%s cp: %v", p.Name, err)
+		}
+		lz := lzrw1.Ratio(text.Data)
+
+		var miss [3]float64
+		var instrs uint64
+		for i, kb := range []int{4, 16, 64} {
+			st := run(p.Name, im, kb)
+			miss[i] = float64(st.IMisses()) / float64(st.Instrs)
+			instrs = st.Instrs
+		}
+		fmt.Printf("%-12s %8.1f %5.1f%% %5.1f%% %5.1f%% %8.2f  %6.3f%% %6.3f%% %6.3f%%",
+			p.Name, float64(len(text.Data))/1024,
+			dictRes.Ratio()*100, cpRes.Ratio()*100, lz*100,
+			float64(instrs)/1e6, miss[0]*100, miss[1]*100, miss[2]*100)
+		if *slow {
+			base := run(p.Name, im, 16).Cycles
+			d := run(p.Name, dictRes.Image, 16).Cycles
+			cpc := run(p.Name, cpRes.Image, 16).Cycles
+			fmt.Printf(" %6.2f %6.2f", float64(d)/float64(base), float64(cpc)/float64(base))
+		}
+		fmt.Println()
+	}
+}
+
+func run(name string, im *program.Image, cacheKB int) cpu.Stats {
+	cfg := cpu.DefaultConfig()
+	cfg.ICache.SizeBytes = cacheKB * 1024
+	cfg.MaxInstr = 500_000_000
+	c, err := cpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Out = io.Discard
+	if err := c.Load(im); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if _, err := c.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s (%dKB): %v\n", name, cacheKB, err)
+		os.Exit(1)
+	}
+	return c.Stats
+}

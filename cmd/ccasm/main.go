@@ -1,0 +1,73 @@
+// Command ccasm assembles CLR32 assembly source into a program image.
+//
+//	ccasm prog.s                 assemble, write prog.img
+//	ccasm -o out.img prog.s      assemble to a named image
+//	ccasm -d prog.s              assemble and print the disassembly
+//	ccasm -bench cc1 -o cc1.img  generate a benchmark stand-in instead
+//
+// The image can be compressed with cccompress and executed with simrun.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccasm: ")
+	var (
+		out   = flag.String("o", "", "output image path (default: source with .img)")
+		dump  = flag.Bool("d", false, "print the disassembly instead of writing an image")
+		bench = flag.String("bench", "", "generate the named benchmark instead of assembling")
+		scale = flag.Float64("scale", 1.0, "benchmark dynamic length multiplier")
+	)
+	flag.Parse()
+
+	var (
+		im   *program.Image
+		path string
+		err  error
+	)
+	switch {
+	case *bench != "":
+		p, ok := synth.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		im, err = synth.Build(p.Scale(*scale))
+		path = *bench + ".img"
+	case flag.NArg() == 1:
+		src, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		im, err = asm.Assemble(string(src))
+		path = strings.TrimSuffix(flag.Arg(0), ".s") + ".img"
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dump {
+		fmt.Print(program.DisassembleImage(im))
+		return
+	}
+	if *out != "" {
+		path = *out
+	}
+	if err := program.SaveFile(path, im); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d bytes of code, %d procedures, entry %#x\n",
+		path, im.CodeSize(), len(im.Procs), im.Entry)
+}

@@ -1,0 +1,81 @@
+// Command cccompress rewrites a native program image into a compressed
+// image with the matching software decompression handler installed.
+//
+//	cccompress -scheme dict prog.img                  fully compressed
+//	cccompress -scheme codepack -rf prog.img          with a shadow register file
+//	cccompress -scheme dict -native p0001,p0002 ...   selective compression
+//	cccompress -scheme dict -report prog.img          sizes only, no output file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/compress/dict"
+	"repro/internal/compress/lzrw1"
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cccompress: ")
+	var (
+		scheme = flag.String("scheme", "dict", "compression scheme: dict, codepack, copy")
+		rf     = flag.Bool("rf", false, "use the second (shadow) register file")
+		bits   = flag.Int("bits", 16, "dictionary index width (8 or 16)")
+		native = flag.String("native", "", "comma-separated procedures to keep as native code")
+		out    = flag.String("o", "", "output image path (default: input with .cc.img)")
+		report = flag.Bool("report", false, "print size report only")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	im, err := program.LoadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{
+		Scheme:    program.Scheme(*scheme),
+		ShadowRF:  *rf,
+		IndexBits: dict.IndexBits(*bits),
+	}
+	if *native != "" {
+		opts.NativeProcs = map[string]bool{}
+		for _, n := range strings.Split(*native, ",") {
+			opts.NativeProcs[strings.TrimSpace(n)] = true
+		}
+	}
+	res, err := core.Compress(im, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text := im.Segment(program.SegText)
+	fmt.Printf("original code:      %8d bytes\n", res.OriginalSize)
+	fmt.Printf("stored code:        %8d bytes (%s, ratio %.1f%%)\n",
+		res.StoredSize, opts.Scheme, res.Ratio()*100)
+	if res.NativeBytes > 0 {
+		fmt.Printf("native region:      %8d bytes (%d procedures)\n",
+			res.NativeBytes, len(opts.NativeProcs))
+	}
+	if text != nil {
+		fmt.Printf("lzrw1 whole-text:   %8.1f%% (comparison lower bound)\n",
+			lzrw1.Ratio(text.Data)*100)
+	}
+	if *report {
+		return
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(flag.Arg(0), ".img") + ".cc.img"
+	}
+	if err := program.SaveFile(path, res.Image); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,49 @@
+// Command ccverify checks that two program images are architecturally
+// equivalent by running them in lockstep and comparing every committed
+// user instruction and the register state. Use it to validate a
+// compressed image against its native original:
+//
+//	ccverify prog.img prog.cc.img
+//	ccverify -max 100000 prog.img prog.cc.img   # bound the comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/verify"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccverify: ")
+	var (
+		icacheKB = flag.Int("icache", 16, "I-cache size in KB")
+		maxSteps = flag.Uint64("max", 0, "maximum user instructions to compare (0 = to completion)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := program.LoadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := program.LoadFile(flag.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.ICache.SizeBytes = *icacheKB * 1024
+	cfg.MaxInstr = 2_000_000_000
+	ok, msg := verify.Equivalent(a, b, cfg, *maxSteps)
+	fmt.Println(msg)
+	if !ok {
+		os.Exit(1)
+	}
+}

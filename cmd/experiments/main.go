@@ -1,0 +1,165 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic benchmark suite:
+//
+//	experiments -table1           machine configuration (Table 1)
+//	experiments -table2           sizes and compression ratios (Table 2)
+//	experiments -table3           decompressor slowdowns (Table 3)
+//	experiments -fig4             miss ratio vs slowdown sweep (Figure 4)
+//	experiments -fig5             selective compression curves (Figure 5)
+//	experiments -handlers         the decompression handlers (Figure 2)
+//	experiments -layout           the memory layout (Figure 3)
+//	experiments -ablations        design-choice ablations beyond the paper
+//	experiments -placement        selective compression + code placement study
+//	experiments -granularity      line vs procedure decompression granularity
+//	experiments -latency          exception service latency per handler
+//	experiments -hardware         software vs hardware decompression
+//	experiments -compare          measured values side by side with the paper's
+//	experiments -all              everything above
+//
+// Use -scale to shorten the runs and -only to restrict the benchmark set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/decomp"
+	"repro/internal/experiment"
+	"repro/internal/program"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		all      = flag.Bool("all", false, "run everything")
+		table1   = flag.Bool("table1", false, "print Table 1")
+		table2   = flag.Bool("table2", false, "reproduce Table 2")
+		table3   = flag.Bool("table3", false, "reproduce Table 3")
+		fig4     = flag.Bool("fig4", false, "reproduce Figure 4")
+		fig5     = flag.Bool("fig5", false, "reproduce Figure 5")
+		handlers = flag.Bool("handlers", false, "print the decompression handlers (Figure 2)")
+		layout   = flag.Bool("layout", false, "print the memory layout (Figure 3)")
+		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
+		place    = flag.Bool("placement", false, "run the selective-compression + code-placement study")
+		gran     = flag.Bool("granularity", false, "compare line vs procedure decompression granularity")
+		latency  = flag.Bool("latency", false, "measure exception service latency per handler")
+		hw       = flag.Bool("hardware", false, "compare software vs hardware decompression")
+		comp     = flag.Bool("compare", false, "print measured values side by side with the paper's")
+		csvDir   = flag.String("csv", "", "also write CSV files for plotting into this directory")
+		scale    = flag.Float64("scale", 1.0, "dynamic length multiplier")
+		only     = flag.String("only", "", "comma-separated benchmark subset")
+	)
+	flag.Parse()
+	if !(*all || *table1 || *table2 || *table3 || *fig4 || *fig5 || *handlers || *layout || *ablate || *place || *gran || *latency || *hw || *comp || *csvDir != "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := experiment.NewSuite(*scale)
+	if *only != "" {
+		s.Only = strings.Split(*only, ",")
+	}
+
+	if *all || *table1 {
+		fmt.Println(experiment.Table1())
+	}
+	if *all || *table2 {
+		rows, err := s.Table2()
+		check(err)
+		fmt.Println(experiment.FormatTable2(rows))
+	}
+	if *all || *table3 {
+		rows, err := s.Table3()
+		check(err)
+		fmt.Println(experiment.FormatTable3(rows))
+	}
+	if *all || *fig4 {
+		pts, err := s.Figure4(program.SchemeDict)
+		check(err)
+		fmt.Println(experiment.FormatFigure4("(a) dictionary", pts))
+		pts, err = s.Figure4(program.SchemeCodePack)
+		check(err)
+		fmt.Println(experiment.FormatFigure4("(b) CodePack", pts))
+	}
+	if *all || *fig5 {
+		curves, err := s.Figure5()
+		check(err)
+		fmt.Println(experiment.FormatFigure5(curves))
+	}
+	if *all || *ablate {
+		out, err := s.Ablations()
+		check(err)
+		fmt.Println(out)
+	}
+	if *all || *place {
+		rows, err := s.Placement()
+		check(err)
+		fmt.Println(experiment.FormatPlacement(rows))
+	}
+	if *all || *gran {
+		rows, err := s.Granularity()
+		check(err)
+		fmt.Println(experiment.FormatGranularity(rows))
+	}
+	if *all || *latency {
+		rows, err := s.Latency()
+		check(err)
+		fmt.Println(experiment.FormatLatency(rows))
+	}
+	if *all || *hw {
+		rows, err := s.HardwareVsSoftware()
+		check(err)
+		fmt.Println(experiment.FormatHardware(rows))
+	}
+	if *all || *comp {
+		out, err := s.Compare()
+		check(err)
+		fmt.Println(out)
+	}
+	if *all || *handlers {
+		printHandlers()
+	}
+	if *all || *layout {
+		printLayout()
+	}
+	if *csvDir != "" {
+		check(s.WriteCSV(*csvDir))
+		fmt.Printf("wrote CSV files to %s\n", *csvDir)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printHandlers() {
+	for _, v := range []decomp.Variant{
+		{Scheme: program.SchemeDict},
+		{Scheme: program.SchemeDict, ShadowRF: true},
+		{Scheme: program.SchemeCodePack},
+		{Scheme: program.SchemeProcDict, ShadowRF: true},
+	} {
+		src, err := decomp.Source(v)
+		check(err)
+		n, err := decomp.StaticInstrs(v)
+		check(err)
+		fmt.Printf("==== %v handler (%d instructions, %d bytes) ====\n%s\n", v, n, n*4, src)
+	}
+}
+
+func printLayout() {
+	fmt.Printf(`Figure 3: memory layout
+  %#010x  stack top (grows down)
+  %#010x  .decompressor (handler RAM, fetched in parallel with the I-cache)
+  %#010x  .data, heap above
+  %#010x  .dictionary / .indices / .lat (compressed program)
+  %#010x  decompressed code region (exists only in the I-cache)
+  %#010x  .native (uncompressed procedures of a selective image)
+`, uint32(program.StackTop), uint32(program.HandlerBase), uint32(program.DataBase),
+		uint32(program.CompDataBase), uint32(program.CompBase), uint32(program.NativeBase))
+}

@@ -1,0 +1,122 @@
+// Command simrun executes a program image on the simulated CLR32
+// machine and reports timing statistics.
+//
+//	simrun prog.img                      run with the paper's Table 1 machine
+//	simrun -icache 64 prog.img           with a 64KB I-cache
+//	simrun -stats prog.img               print the full statistics block
+//	simrun -profile prog.img             per-procedure exec/miss profile
+//	simrun -trace 40 prog.img            dump the last 40 instructions
+//	simrun -compare native.img comp.img  run both, report the slowdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simrun: ")
+	var (
+		icacheKB = flag.Int("icache", 16, "I-cache size in KB")
+		stats    = flag.Bool("stats", false, "print full statistics")
+		profile  = flag.Bool("profile", false, "print the per-procedure profile")
+		compare  = flag.Bool("compare", false, "run two images and report the slowdown")
+		maxInstr = flag.Uint64("max", 2_000_000_000, "instruction budget")
+		traceN   = flag.Int("trace", 0, "dump the last N committed instructions")
+	)
+	flag.Parse()
+	if (*compare && flag.NArg() != 2) || (!*compare && flag.NArg() != 1) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := cpu.DefaultConfig()
+	cfg.ICache.SizeBytes = *icacheKB * 1024
+	cfg.MaxInstr = *maxInstr
+
+	first, prof := run(flag.Arg(0), cfg, *profile, *traceN)
+	if *compare {
+		second, _ := run(flag.Arg(1), cfg, false, 0)
+		fmt.Printf("slowdown: %.3f (%d vs %d cycles)\n",
+			float64(second.Cycles)/float64(first.Cycles), second.Cycles, first.Cycles)
+		return
+	}
+	s := first
+	fmt.Printf("cycles %d, instructions %d (CPI %.2f)\n",
+		s.Cycles, s.Instrs, float64(s.Cycles)/float64(s.Instrs))
+	if *stats {
+		fmt.Printf("handler instructions: %d\n", s.HandlerInstrs)
+		fmt.Printf("I-miss native/compressed: %d/%d (%.3f%% of instructions)\n",
+			s.IMissNative, s.IMissCompressed,
+			100*float64(s.IMisses())/float64(s.Instrs))
+		fmt.Printf("decompression exceptions: %d (latency mean %.1f, worst %d cycles)\n",
+			s.Exceptions, s.AvgExcCycles(), s.ExcCyclesMax)
+		fmt.Printf("fetch/load stall cycles: %d/%d\n", s.FetchStalls, s.LoadStalls)
+	}
+	if *profile && prof != nil {
+		printProfile(prof)
+	}
+}
+
+func run(path string, cfg cpu.Config, profiled bool, traceN int) (cpu.Stats, *cpu.ProcProfile) {
+	im, err := program.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prof *cpu.ProcProfile
+	if profiled {
+		prof = cpu.NewProcProfile(im)
+		c.Prof = prof
+	}
+	var ring *trace.Ring
+	if traceN > 0 {
+		ring = trace.NewRing(traceN, im)
+		ring.Attach(c)
+	}
+	c.Out = os.Stdout
+	if err := c.Load(im); err != nil {
+		log.Fatal(err)
+	}
+	code, err := c.Run()
+	if ring != nil {
+		fmt.Printf("\n--- last %d committed instructions ---\n%s", traceN, ring.Dump())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[%s exited with code %d]\n", path, code)
+	return c.Stats, prof
+}
+
+func printProfile(p *cpu.ProcProfile) {
+	order := make([]int, len(p.Procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p.Misses[order[a]] > p.Misses[order[b]] })
+	fmt.Printf("%-12s %12s %10s\n", "procedure", "instructions", "misses")
+	shown := 0
+	for _, i := range order {
+		if p.Execs[i] == 0 && p.Misses[i] == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %12d %10d\n", p.Procs[i].Name, p.Execs[i], p.Misses[i])
+		shown++
+		if shown >= 25 {
+			fmt.Printf("... (%d more procedures)\n", len(order)-shown)
+			break
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package rtd_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rtd "repro"
+)
+
+// readExpect extracts the "# expect: ..." line from a corpus program.
+func readExpect(t *testing.T, src string) string {
+	t.Helper()
+	for _, line := range strings.Split(src, "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "# expect:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	t.Fatal("corpus program has no '# expect:' line")
+	return ""
+}
+
+// TestCorpus assembles every program under testdata/ and runs it natively
+// and under every decompression scheme, requiring the expected output
+// each time. These are real programs (sorting, recursion, string and bit
+// manipulation), so together they exercise the whole ISA, the assembler
+// and all four handlers.
+func TestCorpus(t *testing.T) {
+	paths, err := filepath.Glob("testdata/*.s")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus programs found: %v", err)
+	}
+	schemes := []rtd.Options{
+		{Scheme: rtd.SchemeDict},
+		{Scheme: rtd.SchemeDict, ShadowRF: true},
+		{Scheme: rtd.SchemeCodePack},
+		{Scheme: rtd.SchemeCodePack, ShadowRF: true},
+		{Scheme: rtd.SchemeProcDict, ShadowRF: true},
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".s")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			want := readExpect(t, src)
+			im, err := rtd.Assemble(src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			machine := rtd.DefaultMachine()
+			machine.MaxInstr = 50_000_000
+			nat, err := rtd.Run(im, machine)
+			if err != nil {
+				t.Fatalf("native run: %v", err)
+			}
+			if nat.ExitCode != 0 {
+				t.Fatalf("native exit code %d", nat.ExitCode)
+			}
+			if nat.Output != want {
+				t.Fatalf("native output %q, want %q", nat.Output, want)
+			}
+			for _, opts := range schemes {
+				res, err := rtd.Compress(im, opts)
+				if err != nil {
+					t.Fatalf("%s: compress: %v", opts.Scheme, err)
+				}
+				got, err := rtd.Run(res.Image, machine)
+				if err != nil {
+					t.Fatalf("%s: run: %v", opts.Scheme, err)
+				}
+				if got.Output != want {
+					t.Errorf("%s rf=%v: output %q, want %q", opts.Scheme, opts.ShadowRF, got.Output, want)
+				}
+				if got.Stats.Instrs != nat.Stats.Instrs {
+					t.Errorf("%s rf=%v: instr count %d, native %d",
+						opts.Scheme, opts.ShadowRF, got.Stats.Instrs, nat.Stats.Instrs)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusAtSmallCaches re-runs the corpus with 1KB and 2KB I-caches so
+// capacity evictions force repeated decompression of the same lines.
+func TestCorpusAtSmallCaches(t *testing.T) {
+	paths, _ := filepath.Glob("testdata/*.s")
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(raw)
+		want := readExpect(t, src)
+		im, err := rtd.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kb := range []int{1, 2} {
+			machine := rtd.DefaultMachine()
+			machine.ICache.SizeBytes = kb * 1024
+			machine.MaxInstr = 100_000_000
+			res, err := rtd.Compress(im, rtd.Options{Scheme: rtd.SchemeDict, ShadowRF: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rtd.Run(res.Image, machine)
+			if err != nil {
+				t.Fatalf("%s @%dKB: %v", path, kb, err)
+			}
+			if got.Output != want {
+				t.Fatalf("%s @%dKB: output %q, want %q", path, kb, got.Output, want)
+			}
+		}
+	}
+}
+
+// TestMiniCCorpus compiles every MiniC program under testdata/minic/ and
+// verifies it natively and under the dictionary and CodePack
+// decompressors.
+func TestMiniCCorpus(t *testing.T) {
+	paths, err := filepath.Glob("testdata/minic/*.mc")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no MiniC corpus programs found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".mc")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			want := ""
+			for _, line := range strings.Split(src, "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "// expect:"); ok {
+					want = strings.TrimSpace(rest)
+				}
+			}
+			if want == "" {
+				t.Fatal("no '// expect:' line")
+			}
+			im, err := rtd.CompileMiniC(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			machine := rtd.DefaultMachine()
+			machine.MaxInstr = 50_000_000
+			nat, err := rtd.Run(im, machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nat.Output != want {
+				t.Fatalf("native output %q, want %q", nat.Output, want)
+			}
+			for _, scheme := range []rtd.Scheme{rtd.SchemeDict, rtd.SchemeCodePack} {
+				res, err := rtd.Compress(im, rtd.Options{Scheme: scheme, ShadowRF: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := rtd.Run(res.Image, machine)
+				if err != nil {
+					t.Fatalf("%s: %v", scheme, err)
+				}
+				if got.Output != want {
+					t.Fatalf("%s: output %q, want %q", scheme, got.Output, want)
+				}
+			}
+		})
+	}
+}

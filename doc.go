@@ -1,0 +1,24 @@
+// Package rtd is a library for run-time software code decompression,
+// reproducing Lefurgy, Piccininni & Mudge, "Reducing Code Size with
+// Run-time Decompression" (HPCA 2000).
+//
+// Programs for the bundled CLR32 embedded processor are stored compressed
+// in main memory. On an instruction-cache miss inside the compressed code
+// region the simulated CPU raises an exception, and a small software
+// handler — real CLR32 code running from a dedicated handler RAM —
+// decompresses one cache line (dictionary scheme) or two (CodePack
+// scheme) and writes the native instructions straight into the I-cache
+// with the swic instruction. Once a line is cached the program runs at
+// native speed.
+//
+// The top-level workflow:
+//
+//	im, err := rtd.Assemble(source)          // or rtd.BuildBenchmark("cc1")
+//	res, err := rtd.Compress(im, rtd.Options{Scheme: rtd.SchemeDict, ShadowRF: true})
+//	out, err := rtd.Run(res.Image, rtd.DefaultMachine())
+//	fmt.Println(out.Slowdown(baseline), res.Ratio())
+//
+// Selective compression (keeping hot or miss-heavy procedures native) is
+// available through Profile and Select; the paper's full evaluation is
+// reproduced by the experiment sub-package and the cmd/experiments tool.
+package rtd

@@ -1,0 +1,81 @@
+// Compiler: the complete toolchain the paper assumes — compile a program
+// from source, compress it, and run it under software decompression,
+// verifying that compilation, compression and execution compose.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rtd "repro"
+)
+
+const source = `
+// Collatz: longest chain for any start below 1000.
+var best;
+var bestStart;
+
+func chain(n) {
+	var len = 1;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; }
+		else { n = 3 * n + 1; }
+		len = len + 1;
+	}
+	return len;
+}
+
+func main() {
+	best = 0;
+	var i = 1;
+	while (i < 1000) {
+		var l = chain(i);
+		if (l > best) {
+			best = l;
+			bestStart = i;
+		}
+		i = i + 1;
+	}
+	prints("longest Collatz chain below 1000: start=");
+	print(bestStart);
+	prints(" length=");
+	print(best);
+	printc('\n');
+	return 0;
+}
+`
+
+func main() {
+	im, err := rtd.CompileMiniC(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := rtd.DefaultMachine()
+	native, err := rtd.Run(im, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native:   %s          (%d instructions, %d bytes of code)\n",
+		trim(native.Output), native.Stats.Instrs, im.CodeSize())
+
+	res, err := rtd.Compress(im, rtd.Options{Scheme: rtd.SchemeCodePack, ShadowRF: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := rtd.Run(res.Image, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("codepack: %s          (ratio %.1f%%, slowdown %.2f)\n",
+		trim(comp.Output), res.Ratio()*100, comp.Slowdown(native))
+	if comp.Output != native.Output {
+		log.Fatal("compressed execution diverged")
+	}
+}
+
+func trim(s string) string {
+	if n := len(s); n > 0 && s[n-1] == '\n' {
+		return s[:n-1]
+	}
+	return s
+}

@@ -1,0 +1,334 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Image {
+	t.Helper()
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return im
+}
+
+func TestAssembleBasic(t *testing.T) {
+	im := mustAssemble(t, `
+        .text
+        .proc main
+main:   ori   $v0, $zero, 10
+        syscall
+        .endp
+`)
+	text := im.Segment(program.SegText)
+	if text == nil {
+		t.Fatal("no .text segment")
+	}
+	if len(text.Data) != 8 {
+		t.Fatalf("text size = %d, want 8", len(text.Data))
+	}
+	if im.Entry != program.NativeBase {
+		t.Fatalf("entry = %#x", im.Entry)
+	}
+	w := text.Word(program.NativeBase)
+	if isa.Op(w) != isa.OpORI || isa.Rt(w) != isa.RegV0 || isa.Imm(w) != 10 {
+		t.Fatalf("first word = %#x (%s)", w, isa.Disassemble(program.NativeBase, w))
+	}
+}
+
+func TestAssembleBranchesAndLoops(t *testing.T) {
+	im := mustAssemble(t, `
+        .text
+        .proc main
+main:   ori  $t0, $zero, 5
+        move $t1, $zero
+loop:   addu $t1, $t1, $t0
+        addiu $t0, $t0, -1
+        bgtz $t0, loop
+        bne  $t1, $zero, done
+        nop
+done:   jr   $ra
+        .endp
+`)
+	text := im.Segment(program.SegText)
+	// bgtz at offset 16 targets offset 8.
+	w := text.Word(program.NativeBase + 16)
+	if got := isa.BranchTarget(program.NativeBase+16, w); got != program.NativeBase+8 {
+		t.Fatalf("bgtz target = %#x", got)
+	}
+	// bne at offset 20 targets offset 28.
+	w = text.Word(program.NativeBase + 20)
+	if got := isa.BranchTarget(program.NativeBase+20, w); got != program.NativeBase+28 {
+		t.Fatalf("bne target = %#x", got)
+	}
+}
+
+func TestAssembleJumpReloc(t *testing.T) {
+	im := mustAssemble(t, `
+        .text
+        .proc main
+main:   jal  helper
+        jr   $ra
+        .endp
+        .proc helper
+helper: jr   $ra
+        .endp
+`)
+	text := im.Segment(program.SegText)
+	w := text.Word(program.NativeBase)
+	if isa.Op(w) != isa.OpJAL {
+		t.Fatalf("not a jal: %#x", w)
+	}
+	if got := isa.JumpTarget(program.NativeBase, w); got != im.Symbols["helper"] {
+		t.Fatalf("jal target = %#x, want %#x", got, im.Symbols["helper"])
+	}
+	if len(im.Relocs) != 1 || im.Relocs[0].Kind != program.RelJ26 {
+		t.Fatalf("relocs = %+v", im.Relocs)
+	}
+}
+
+func TestAssembleLaLiData(t *testing.T) {
+	im := mustAssemble(t, `
+        .data
+val:    .word 0x12345678, 99
+tab:    .word main, helper
+msg:    .asciiz "hi"
+        .align 4
+buf:    .space 16
+        .text
+        .proc main
+main:   la   $t0, val
+        lw   $t1, 0($t0)
+        li   $t2, 0xDEADBEEF
+        li   $t3, 42
+        jr   $ra
+        .endp
+        .proc helper
+helper: jr   $ra
+        .endp
+        .entry main
+`)
+	data := im.Segment(program.SegData)
+	if got := data.Word(program.DataBase); got != 0x12345678 {
+		t.Fatalf("val = %#x", got)
+	}
+	if got := data.Word(program.DataBase + 8); got != im.Symbols["main"] {
+		t.Fatalf("tab[0] = %#x, want main", got)
+	}
+	if got := data.Word(program.DataBase + 12); got != im.Symbols["helper"] {
+		t.Fatalf("tab[1] = %#x, want helper", got)
+	}
+	text := im.Segment(program.SegText)
+	// la expands to lui+ori pointing at val.
+	lui := text.Word(im.Symbols["main"])
+	ori := text.Word(im.Symbols["main"] + 4)
+	addr := isa.Imm(lui)<<16 | isa.Imm(ori)
+	if addr != im.Symbols["val"] {
+		t.Fatalf("la materialised %#x, want %#x", addr, im.Symbols["val"])
+	}
+	// li 0xDEADBEEF expands to lui+ori.
+	lui2 := text.Word(im.Symbols["main"] + 12)
+	ori2 := text.Word(im.Symbols["main"] + 16)
+	if isa.Imm(lui2)<<16|isa.Imm(ori2) != 0xDEADBEEF {
+		t.Fatal("li 32-bit wrong")
+	}
+	// li 42 is a single ori.
+	w := text.Word(im.Symbols["main"] + 20)
+	if isa.Op(w) != isa.OpORI || isa.Imm(w) != 42 {
+		t.Fatalf("li small = %#x", w)
+	}
+}
+
+func TestAssembleHandlerInstructions(t *testing.T) {
+	im := mustAssemble(t, `
+        .section .decompressor, 0x7F000000
+        .proc handler
+handler:
+        mfc0 $k1, $c0_badva
+        mfc0 $k0, $c0_dbase
+        srl  $k1, $k1, 5
+        sll  $k1, $k1, 5
+        lhu  $t0, 0($k0)
+        swic $t0, 0($k1)
+        iret
+        .endp
+`)
+	seg := im.Segment(program.SegDecompressor)
+	if seg == nil || seg.Base != program.HandlerBase {
+		t.Fatal("handler segment missing or misplaced")
+	}
+	w := seg.Word(program.HandlerBase)
+	if isa.Classify(w) != isa.KindCop0 || isa.Rd(w) != isa.C0BadVA {
+		t.Fatalf("mfc0 badva wrong: %#x", w)
+	}
+	last := seg.Word(seg.End() - 4)
+	if isa.Classify(last) != isa.KindIret {
+		t.Fatalf("last insn not iret: %#x", last)
+	}
+	for a := seg.Base; a < seg.End(); a += 4 {
+		if isa.Classify(seg.Word(a)) == isa.KindIllegal {
+			t.Fatalf("illegal encoding at %#x", a)
+		}
+	}
+}
+
+func TestAssembleProcTable(t *testing.T) {
+	im := mustAssemble(t, `
+        .text
+        .proc a
+a:      nop
+        nop
+        .proc b
+b:      nop
+        .proc c
+c:      jr $ra
+        nop
+        .endp
+`)
+	if len(im.Procs) != 3 {
+		t.Fatalf("procs = %+v", im.Procs)
+	}
+	want := []struct {
+		name string
+		size uint32
+	}{{"a", 8}, {"b", 4}, {"c", 8}}
+	for i, w := range want {
+		if im.Procs[i].Name != w.name || im.Procs[i].Size != w.size {
+			t.Fatalf("proc %d = %+v, want %+v", i, im.Procs[i], w)
+		}
+	}
+	if p := im.ProcAt(im.Symbols["b"]); p == nil || p.Name != "b" {
+		t.Fatal("ProcAt(b) wrong")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus $t0, $t1",                   // unknown mnemonic
+		".text\naddi $t0, $t1, 70000",      // immediate overflow
+		".text\nbeq $t0, $t1, nowhere",     // undefined branch target
+		".text\nx: nop\nx: nop",            // duplicate label
+		".text\nlw $t0, 4",                 // missing base register is fine... see below
+		".text\njal missing",               // undefined jump target
+		".text\nsll $t0, $t1, 99",          // shift out of range
+		".frobnicate",                      // unknown directive
+		".text\nmfc0 $t0, $c0_nosuch",      // bad system register
+		".text 0x400000\n.text 0x500000\n", // section reopened at new base
+	}
+	for i, src := range cases {
+		if i == 4 {
+			// "lw $t0, 4" means absolute address 4($zero): legal.
+			if _, err := Assemble(src); err != nil {
+				t.Errorf("case %d should assemble: %v", i, err)
+			}
+			continue
+		}
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("case %d (%q): expected error", i, strings.Split(src, "\n")[len(strings.Split(src, "\n"))-1])
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Assemble a program, disassemble every word, re-assemble the result,
+	// and require identical bytes. This locks the assembler and
+	// disassembler together.
+	src := `
+        .text
+        .proc main
+main:   addiu $sp, $sp, -32
+        sw    $ra, 28($sp)
+        ori   $a0, $zero, 7
+        jal   fib
+        lw    $ra, 28($sp)
+        addiu $sp, $sp, 32
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+        .proc fib
+fib:    slti  $t0, $a0, 2
+        beq   $t0, $zero, rec
+        move  $v0, $a0
+        jr    $ra
+rec:    addiu $sp, $sp, -16
+        sw    $ra, 12($sp)
+        sw    $s0, 8($sp)
+        sw    $a0, 4($sp)
+        addiu $a0, $a0, -1
+        jal   fib
+        move  $s0, $v0
+        lw    $a0, 4($sp)
+        addiu $a0, $a0, -2
+        jal   fib
+        addu  $v0, $v0, $s0
+        lw    $s0, 8($sp)
+        lw    $ra, 12($sp)
+        addiu $sp, $sp, 16
+        jr    $ra
+        .endp
+`
+	im := mustAssemble(t, src)
+	text := im.Segment(program.SegText)
+	var sb strings.Builder
+	sb.WriteString(".text\n")
+	for a := text.Base; a < text.End(); a += 4 {
+		line := isa.Disassemble(a, text.Word(a))
+		// Branch/jump targets disassemble to absolute hex addresses; give
+		// them labels by defining a label at every word.
+		sb.WriteString("L" + hex(a) + ": " + rewriteTargets(line) + "\n")
+	}
+	im2, err := Assemble(sb.String())
+	if err != nil {
+		t.Fatalf("re-assemble: %v\n%s", err, sb.String())
+	}
+	text2 := im2.Segment(program.SegText)
+	if len(text.Data) != len(text2.Data) {
+		t.Fatalf("size mismatch %d vs %d", len(text.Data), len(text2.Data))
+	}
+	for i := range text.Data {
+		if text.Data[i] != text2.Data[i] {
+			a := text.Base + uint32(i&^3)
+			t.Fatalf("byte %d differs: %s vs %s", i,
+				isa.Disassemble(a, text.Word(a)), isa.Disassemble(a, text2.Word(a)))
+		}
+	}
+}
+
+func hex(a uint32) string {
+	const digits = "0123456789abcdef"
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = digits[a&0xF]
+		a >>= 4
+	}
+	return string(b[:])
+}
+
+// rewriteTargets turns "beq $t0, $t1, 0x400008" into "beq $t0, $t1, L00400008".
+func rewriteTargets(line string) string {
+	i := strings.LastIndex(line, "0x")
+	if i < 0 {
+		return line
+	}
+	// Only rewrite branch/jump targets (they are the last operand of
+	// branch and jump mnemonics).
+	mn := line
+	if j := strings.IndexAny(line, " \t"); j >= 0 {
+		mn = line[:j]
+	}
+	switch mn {
+	case "beq", "bne", "blez", "bgtz", "bltz", "bgez", "j", "jal":
+		v, err := strconv.ParseUint(line[i+2:], 16, 32)
+		if err != nil {
+			return line
+		}
+		return line[:i] + "L" + hex(uint32(v))
+	}
+	return line
+}

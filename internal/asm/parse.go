@@ -1,0 +1,612 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Assemble translates CLR32 assembly text into a linked image. The syntax
+// is SPIM-like; see the package tests and internal/decomp for examples.
+func Assemble(src string) (*program.Image, error) {
+	p := &parser{b: NewBuilder(), equs: make(map[string]int64)}
+	for i, line := range strings.Split(src, "\n") {
+		p.line = i + 1
+		if err := p.doLine(line); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %v", p.line, err)
+		}
+	}
+	return p.b.Finish()
+}
+
+type parser struct {
+	b    *Builder
+	line int
+	equs map[string]int64
+}
+
+func (p *parser) doLine(line string) error {
+	// Strip comments (# or ;) outside string literals.
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '#', ';':
+			if !inStr {
+				line = line[:i]
+				i = len(line)
+			}
+		}
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels (possibly several on one line).
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(line[:i])
+		if !isIdent(name) {
+			break // a ':' inside an operand — not a label
+		}
+		p.b.Label(name)
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	// Split mnemonic / operands.
+	mn := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mn = strings.ToLower(mn)
+	if strings.HasPrefix(mn, ".") {
+		return p.directive(mn, rest)
+	}
+	return p.instruction(mn, splitOperands(rest))
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	inChar := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			inChar = !inChar
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 && !inChar {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func (p *parser) directive(mn, rest string) error {
+	ops := splitOperands(rest)
+	switch mn {
+	case ".text":
+		base := uint32(program.NativeBase)
+		if len(ops) == 1 && ops[0] != "" {
+			v, err := p.int(ops[0])
+			if err != nil {
+				return err
+			}
+			base = uint32(v)
+		}
+		p.b.Section(program.SegText, base, false)
+	case ".data":
+		base := uint32(program.DataBase)
+		if len(ops) == 1 && ops[0] != "" {
+			v, err := p.int(ops[0])
+			if err != nil {
+				return err
+			}
+			base = uint32(v)
+		}
+		p.b.Section(program.SegData, base, false)
+	case ".section":
+		if len(ops) < 2 {
+			return fmt.Errorf(".section needs name and base")
+		}
+		v, err := p.int(ops[1])
+		if err != nil {
+			return err
+		}
+		virtual := len(ops) >= 3 && ops[2] == "virtual"
+		p.b.Section(ops[0], uint32(v), virtual)
+	case ".proc":
+		if len(ops) != 1 {
+			return fmt.Errorf(".proc needs a name")
+		}
+		p.b.Proc(ops[0])
+	case ".endp":
+		p.b.EndProc()
+	case ".entry":
+		if len(ops) != 1 {
+			return fmt.Errorf(".entry needs a symbol")
+		}
+		p.b.SetEntry(ops[0])
+	case ".equ", ".set":
+		if len(ops) != 2 {
+			return fmt.Errorf(".equ needs name, value")
+		}
+		if !isIdent(ops[0]) {
+			return fmt.Errorf("bad .equ name %q", ops[0])
+		}
+		v, err := p.int(ops[1])
+		if err != nil {
+			return err
+		}
+		p.equs[ops[0]] = v
+	case ".globl", ".global":
+		// accepted for compatibility; symbols are always global
+	case ".word":
+		for _, o := range ops {
+			if v, err := p.int(o); err == nil {
+				p.b.Word(uint32(v))
+			} else if isIdent(o) {
+				p.b.WordSym(o, 0)
+			} else {
+				return fmt.Errorf("bad .word operand %q", o)
+			}
+		}
+	case ".half":
+		for _, o := range ops {
+			v, err := p.int(o)
+			if err != nil {
+				return err
+			}
+			p.b.Half(uint16(v))
+		}
+	case ".byte":
+		for _, o := range ops {
+			v, err := p.int(o)
+			if err != nil {
+				return err
+			}
+			p.b.Byte(byte(v))
+		}
+	case ".asciiz":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("bad .asciiz string: %v", err)
+		}
+		p.b.Asciiz(s)
+	case ".space":
+		v, err := p.int(rest)
+		if err != nil {
+			return err
+		}
+		p.b.Space(int(v))
+	case ".align":
+		v, err := p.int(rest)
+		if err != nil {
+			return err
+		}
+		p.b.Align(int(v))
+	default:
+		return fmt.Errorf("unknown directive %q", mn)
+	}
+	return nil
+}
+
+func (p *parser) instruction(mn string, ops []string) error {
+	// Pseudo-instructions first.
+	switch mn {
+	case "nop":
+		p.b.Nop()
+		return nil
+	case "move":
+		rd, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(at(ops, 1))
+		if err != nil {
+			return err
+		}
+		p.b.Move(rd, rs)
+		return nil
+	case "li":
+		rt, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		v, err := p.int(at(ops, 1))
+		if err != nil {
+			return err
+		}
+		p.b.Li(rt, uint32(v))
+		return nil
+	case "la":
+		rt, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		sym, add, err := parseSymAdd(at(ops, 1))
+		if err != nil {
+			return err
+		}
+		p.b.La(rt, sym, add)
+		return nil
+	case "b":
+		p.b.Branch2("beq", isa.RegZero, isa.RegZero, at(ops, 0))
+		return nil
+	case "beqz":
+		rs, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		p.b.Branch2("beq", rs, isa.RegZero, at(ops, 1))
+		return nil
+	case "bnez":
+		rs, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		p.b.Branch2("bne", rs, isa.RegZero, at(ops, 1))
+		return nil
+	case "jalr":
+		// Allow one-operand form: jalr rs == jalr $ra, rs.
+		if len(ops) == 1 {
+			rs, err := parseReg(ops[0])
+			if err != nil {
+				return err
+			}
+			p.b.JALR(isa.RegRA, rs)
+			return nil
+		}
+	}
+	sp := isa.SpecByName[mn]
+	if sp == nil {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	switch sp.Syntax {
+	case isa.SynR3:
+		rd, rs, rt, err := threeRegs(ops)
+		if err != nil {
+			return err
+		}
+		p.b.R3(mn, rd, rs, rt)
+	case isa.SynShift:
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs rd, rt, shamt", mn)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		sh, err := p.int(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Shift(mn, rd, rt, uint32(sh))
+	case isa.SynShiftV:
+		rd, rt, rs, err := threeRegs(ops)
+		if err != nil {
+			return err
+		}
+		p.b.ShiftV(mn, rd, rt, rs)
+	case isa.SynMulDiv:
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rs, rt", mn)
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.MulDiv(mn, rs, rt)
+	case isa.SynMoveFrom:
+		rd, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		p.b.MoveFrom(mn, rd)
+	case isa.SynJR:
+		rs, err := parseReg(at(ops, 0))
+		if err != nil {
+			return err
+		}
+		p.b.JR(rs)
+	case isa.SynJALR:
+		if len(ops) != 2 {
+			return fmt.Errorf("jalr needs rd, rs")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.JALR(rd, rs)
+	case isa.SynImm:
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs rt, rs, imm", mn)
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		if sym, add, ok := parseLoHi(ops[2], "%lo"); ok {
+			p.b.ImmLo(mn, rt, rs, sym, add)
+			return nil
+		}
+		v, err := p.int(ops[2])
+		if err != nil {
+			return err
+		}
+		p.b.Imm(mn, rt, rs, int32(v))
+	case isa.SynLUI:
+		if len(ops) != 2 {
+			return fmt.Errorf("lui needs rt, imm")
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if sym, add, ok := parseLoHi(ops[1], "%hi"); ok {
+			p.b.LuiHi(rt, sym, add)
+			return nil
+		}
+		v, err := p.int(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Lui(rt, uint32(v))
+	case isa.SynBranch2:
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs rs, rt, label", mn)
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Branch2(mn, rs, rt, ops[2])
+	case isa.SynBranch1:
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rs, label", mn)
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		p.b.Branch1(mn, rs, ops[1])
+	case isa.SynJump:
+		p.b.Jump(mn, at(ops, 0))
+	case isa.SynMem:
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rt, off(rs)", mn)
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, rs, err := p.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		p.b.Mem(mn, rt, off, rs)
+	case isa.SynCop:
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs rt, $cN", mn)
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		c, err := parseC0(ops[1])
+		if err != nil {
+			return err
+		}
+		if mn == "mfc0" {
+			p.b.Mfc0(rt, c)
+		} else {
+			p.b.Mtc0(rt, c)
+		}
+	case isa.SynNone:
+		switch mn {
+		case "syscall":
+			p.b.Syscall()
+		case "break":
+			p.b.Break()
+		case "iret":
+			p.b.Iret()
+		}
+	default:
+		return fmt.Errorf("unhandled syntax for %q", mn)
+	}
+	return nil
+}
+
+func at(ops []string, i int) string {
+	if i < len(ops) {
+		return ops[i]
+	}
+	return ""
+}
+
+func threeRegs(ops []string) (a, b, c int, err error) {
+	if len(ops) != 3 {
+		return 0, 0, 0, fmt.Errorf("need three registers")
+	}
+	if a, err = parseReg(ops[0]); err != nil {
+		return
+	}
+	if b, err = parseReg(ops[1]); err != nil {
+		return
+	}
+	c, err = parseReg(ops[2])
+	return
+}
+
+var regByName = func() map[string]int {
+	m := make(map[string]int, isa.NumRegs*2)
+	for i := 0; i < isa.NumRegs; i++ {
+		m[isa.RegName(i)] = i
+		m[fmt.Sprintf("$%d", i)] = i
+	}
+	m["$s8"] = isa.RegFP
+	return m
+}()
+
+func parseReg(s string) (int, error) {
+	if r, ok := regByName[strings.ToLower(s)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseC0(s string) (int, error) {
+	s = strings.ToLower(strings.TrimPrefix(s, "$"))
+	for i := 0; i < isa.NumC0Regs; i++ {
+		if s == isa.C0Name(i) || s == strings.TrimPrefix(isa.C0Name(i), "c0_") {
+			return i, nil
+		}
+	}
+	if strings.HasPrefix(s, "c") {
+		if v, err := strconv.Atoi(s[1:]); err == nil && v >= 0 && v < isa.NumC0Regs {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("bad system register %q", s)
+}
+
+// int resolves an integer operand, looking .equ constants up first.
+func (p *parser) int(s string) (int64, error) {
+	if v, ok := p.equs[strings.TrimSpace(s)]; ok {
+		return v, nil
+	}
+	return parseInt(s)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("missing integer")
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) != 1 {
+			return 0, fmt.Errorf("bad char literal %s", s)
+		}
+		return int64(r[0]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xFFFFFFFF.
+		if u, uerr := strconv.ParseUint(s, 0, 32); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+// parseSymAdd parses "sym", "sym+4" or "sym-8".
+func parseSymAdd(s string) (string, int32, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			v, err := parseInt(s[i:])
+			if err != nil {
+				return "", 0, err
+			}
+			return s[:i], int32(v), nil
+		}
+	}
+	if !isIdent(s) {
+		return "", 0, fmt.Errorf("bad symbol %q", s)
+	}
+	return s, 0, nil
+}
+
+// memOperand parses "off($rs)", "($rs)" or "off" (rs = $zero).
+func (p *parser) memOperand(s string) (int32, int, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		v, err := p.int(s)
+		return int32(v), isa.RegZero, err
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if open > 0 {
+		var err error
+		off, err = p.int(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	rs, err := parseReg(s[open+1 : len(s)-1])
+	return int32(off), rs, err
+}
+
+// parseLoHi matches "%lo(sym)" / "%hi(sym+off)" operands.
+func parseLoHi(s, op string) (sym string, add int32, ok bool) {
+	if !strings.HasPrefix(s, op+"(") || !strings.HasSuffix(s, ")") {
+		return "", 0, false
+	}
+	inner := s[len(op)+1 : len(s)-1]
+	sym, add, err := parseSymAdd(inner)
+	if err != nil {
+		return "", 0, false
+	}
+	return sym, add, true
+}

@@ -1,0 +1,120 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func TestEquConstants(t *testing.T) {
+	im := mustAssemble(t, `
+        .equ  BUFSZ, 64
+        .equ  MAGIC, 0x1234
+        .equ  COPY, MAGIC
+        .data
+buf:    .space BUFSZ
+vals:   .word MAGIC, COPY
+        .text
+        .proc main
+main:   li    $t0, MAGIC
+        ori   $t1, $zero, BUFSZ
+        lw    $t2, BUFSZ($gp)
+        sll   $t3, $t0, 2
+        jr    $ra
+        .endp
+`)
+	data := im.Segment(program.SegData)
+	if data.Word(im.Symbols["vals"]) != 0x1234 {
+		t.Fatal(".word with .equ constant wrong")
+	}
+	if data.Word(im.Symbols["vals"]+4) != 0x1234 {
+		t.Fatal(".equ referencing .equ wrong")
+	}
+	if im.Symbols["vals"]-im.Symbols["buf"] != 64 {
+		t.Fatal(".space with .equ wrong")
+	}
+	text := im.Segment(program.SegText)
+	// li MAGIC fits in 16 bits -> single ori with imm 0x1234.
+	if w := text.Word(im.Entry); isa.Imm(w) != 0x1234 {
+		t.Fatalf("li with .equ = %#x", w)
+	}
+	// lw offset uses the constant.
+	if w := text.Word(im.Entry + 8); isa.SImm(w) != 64 {
+		t.Fatalf("lw offset = %d", isa.SImm(w))
+	}
+}
+
+func TestEquErrors(t *testing.T) {
+	cases := []string{
+		".equ 1bad, 5",
+		".equ onlyname",
+		".equ x, notanumber",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestHiLoOperators(t *testing.T) {
+	im := mustAssemble(t, `
+        .data
+        .space 0x1230
+var:    .word 42
+        .text
+        .proc main
+main:   lui   $t0, %hi(var)
+        ori   $t0, $t0, %lo(var)
+        lw    $t1, 0($t0)
+        lui   $t2, %hi(var+4)
+        addiu $t2, $t2, %lo(var+4)
+        jr    $ra
+        .endp
+`)
+	text := im.Segment(program.SegText)
+	hi := isa.Imm(text.Word(im.Entry))
+	lo := isa.Imm(text.Word(im.Entry + 4))
+	if hi<<16|lo != im.Symbols["var"] {
+		t.Fatalf("%%hi/%%lo = %#x, want %#x", hi<<16|lo, im.Symbols["var"])
+	}
+	hi2 := isa.Imm(text.Word(im.Entry + 12))
+	lo2 := isa.Imm(text.Word(im.Entry + 16))
+	if hi2<<16|lo2 != im.Symbols["var"]+4 {
+		t.Fatal("%hi/%lo with addend wrong")
+	}
+	// Relocations must be recorded so re-layout can re-resolve them.
+	hiRelocs, loRelocs := 0, 0
+	for _, r := range im.Relocs {
+		switch r.Kind {
+		case program.RelHi16:
+			hiRelocs++
+		case program.RelLo16:
+			loRelocs++
+		}
+	}
+	if hiRelocs != 2 || loRelocs != 2 {
+		t.Fatalf("relocs hi=%d lo=%d, want 2/2", hiRelocs, loRelocs)
+	}
+}
+
+func TestHiLoUndefinedSymbol(t *testing.T) {
+	if _, err := Assemble(".text\nlui $t0, %hi(missing)\n"); err == nil {
+		t.Fatal("undefined %hi symbol must error")
+	}
+}
+
+func TestSectionDirectiveWithEqu(t *testing.T) {
+	im := mustAssemble(t, `
+        .equ HRAM, 0x7F000000
+        .section .decompressor, HRAM
+        .proc h
+h:      iret
+        .endp
+`)
+	seg := im.Segment(program.SegDecompressor)
+	if seg == nil || seg.Base != program.HandlerBase {
+		t.Fatal(".section with .equ base wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package bpred
+
+import "testing"
+
+func TestAlwaysTakenLoopConverges(t *testing.T) {
+	p := New(2048)
+	pc := uint32(0x400100)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !p.Update(pc, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Fatalf("bimodal should learn an always-taken branch, %d wrong", wrong)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("should predict taken after training")
+	}
+}
+
+func TestAlternatingBranchIsHard(t *testing.T) {
+	p := New(2048)
+	pc := uint32(0x400200)
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !p.Update(pc, i%2 == 0) {
+			wrong++
+		}
+	}
+	if wrong < 40 {
+		t.Fatalf("alternating branch should mispredict heavily, got %d", wrong)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	p := New(16)
+	pc := uint32(0x0)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true)
+	}
+	// One not-taken must not flip the prediction (counter saturated at 3).
+	p.Update(pc, false)
+	if !p.Predict(pc) {
+		t.Fatal("saturating counter flipped after one opposite outcome")
+	}
+}
+
+func TestIndexingSeparatesBranches(t *testing.T) {
+	p := New(2048)
+	a, b := uint32(0x400000), uint32(0x400004)
+	for i := 0; i < 10; i++ {
+		p.Update(a, true)
+		p.Update(b, false)
+	}
+	if !p.Predict(a) || p.Predict(b) {
+		t.Fatal("adjacent branches alias in a 2048-entry table")
+	}
+}
+
+func TestMispredictRatio(t *testing.T) {
+	p := New(2048)
+	if p.MispredictRatio() != 0 {
+		t.Fatal("idle ratio must be 0")
+	}
+	p.Update(0, true) // initial weakly-not-taken: mispredict
+	if p.MispredictRatio() != 1 {
+		t.Fatalf("ratio = %f", p.MispredictRatio())
+	}
+}
+
+func TestBadEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1000)
+}

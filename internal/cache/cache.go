@@ -1,0 +1,278 @@
+// Package cache implements the set-associative, LRU caches of the
+// simulated memory hierarchy, including the explicit line-write operation
+// (swic) that lets the software decompressor fill instruction-cache lines.
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Config sizes a cache. The paper's baseline I-cache is 16KB/32B/2-way and
+// the D-cache 8KB/16B/2-way, both LRU.
+type Config struct {
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Validate checks the configuration for power-of-two geometry.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	pow2 := func(n int) bool { return n&(n-1) == 0 }
+	if !pow2(c.SizeBytes) || !pow2(c.LineBytes) || !pow2(c.Ways) {
+		return fmt.Errorf("cache: geometry must be powers of two: %+v", c)
+	}
+	if c.SizeBytes < c.LineBytes*c.Ways {
+		return fmt.Errorf("cache: size %d too small for %d ways of %dB lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	return nil
+}
+
+type line struct {
+	valid bool
+	tag   uint32
+	lru   uint64
+	data  []byte // nil when the cache does not store data
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+	LineFills uint64 // hardware fills
+	SwicLines uint64 // lines claimed by explicit writes
+}
+
+// MissRatio returns Misses/Accesses (0 when idle).
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg        Config
+	sets       [][]line
+	clock      uint64
+	storesData bool
+	lineShift  uint
+	setMask    uint32
+
+	Stats Stats
+}
+
+// New builds a cache. storesData selects whether line contents are kept;
+// the I-cache stores data so that fetches return the words the
+// decompressor wrote with swic, while the D-cache only tracks presence.
+func New(cfg Config, storesData bool) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, storesData: storesData}
+	c.sets = make([][]line, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for s := cfg.LineBytes; s > 1; s >>= 1 {
+		c.lineShift++
+	}
+	c.setMask = uint32(cfg.Sets() - 1)
+	return c, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config, storesData bool) *Cache {
+	c, err := New(cfg, storesData)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineBase returns the address of the first byte of addr's line.
+func (c *Cache) LineBase(addr uint32) uint32 {
+	return addr &^ uint32(c.cfg.LineBytes-1)
+}
+
+func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
+	l := addr >> c.lineShift
+	return l & c.setMask, l >> uint(log2(uint32(c.cfg.Sets())))
+}
+
+func log2(n uint32) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func (c *Cache) find(addr uint32) *line {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return &ways[i]
+		}
+	}
+	return nil
+}
+
+// Access looks addr up, counting the access and updating LRU on a hit.
+// It reports whether the line is present.
+func (c *Cache) Access(addr uint32) bool {
+	c.Stats.Accesses++
+	if ln := c.find(addr); ln != nil {
+		c.clock++
+		ln.lru = c.clock
+		return true
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// Probe reports presence without touching statistics or LRU state.
+func (c *Cache) Probe(addr uint32) bool { return c.find(addr) != nil }
+
+func (c *Cache) victim(set uint32) *line {
+	ways := c.sets[set]
+	v := &ways[0]
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			return &ways[i]
+		}
+		if ways[i].lru < v.lru {
+			v = &ways[i]
+		}
+	}
+	if v.valid {
+		c.Stats.Evictions++
+	}
+	return v
+}
+
+func (c *Cache) allocate(addr uint32) *line {
+	set, tag := c.index(addr)
+	// Re-use the existing line if present so a set never holds two ways
+	// with the same tag.
+	ln := c.find(addr)
+	if ln == nil {
+		ln = c.victim(set)
+	}
+	ln.valid = true
+	ln.tag = tag
+	c.clock++
+	ln.lru = c.clock
+	if c.storesData {
+		if ln.data == nil {
+			ln.data = make([]byte, c.cfg.LineBytes)
+		} else {
+			for i := range ln.data {
+				ln.data[i] = 0
+			}
+		}
+	}
+	return ln
+}
+
+// Fill installs the line containing addr with the given data (the
+// hardware-refill path). data must be one full line, or nil for a cache
+// that does not store data.
+func (c *Cache) Fill(addr uint32, data []byte) {
+	if c.storesData && len(data) != c.cfg.LineBytes {
+		panic(fmt.Sprintf("cache: fill of %d bytes into %dB line", len(data), c.cfg.LineBytes))
+	}
+	ln := c.allocate(addr)
+	c.Stats.LineFills++
+	if c.storesData {
+		copy(ln.data, data)
+	}
+}
+
+// WriteWord implements swic: store word w at addr inside the I-cache,
+// claiming (allocating) the line on its first write. Returns true when
+// the write claimed a new line.
+func (c *Cache) WriteWord(addr uint32, w uint32) bool {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("cache: unaligned swic at %#x", addr))
+	}
+	ln := c.find(addr)
+	claimed := false
+	if ln == nil {
+		ln = c.allocate(addr)
+		c.Stats.SwicLines++
+		claimed = true
+	} else {
+		c.clock++
+		ln.lru = c.clock
+	}
+	if c.storesData {
+		off := addr & uint32(c.cfg.LineBytes-1)
+		binary.LittleEndian.PutUint32(ln.data[off:off+4], w)
+	}
+	return claimed
+}
+
+// ReadWord returns the cached word at addr. ok is false when the line is
+// absent (or the cache does not store data).
+func (c *Cache) ReadWord(addr uint32) (w uint32, ok bool) {
+	ln := c.find(addr)
+	if ln == nil || ln.data == nil {
+		return 0, false
+	}
+	off := addr & uint32(c.cfg.LineBytes-1)
+	return binary.LittleEndian.Uint32(ln.data[off : off+4]), true
+}
+
+// UpdateWord updates addr's word if its line is present (write-through
+// store hit); it never allocates.
+func (c *Cache) UpdateWord(addr uint32, w uint32) {
+	if !c.storesData {
+		return
+	}
+	if ln := c.find(addr); ln != nil {
+		off := addr & uint32(c.cfg.LineBytes-1)
+		binary.LittleEndian.PutUint32(ln.data[off:off+4], w)
+	}
+}
+
+// Invalidate drops addr's line if present.
+func (c *Cache) Invalidate(addr uint32) {
+	if ln := c.find(addr); ln != nil {
+		ln.valid = false
+	}
+}
+
+// Flush invalidates every line and leaves statistics untouched.
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].valid = false
+		}
+	}
+}
+
+// LineData returns a copy of the line containing addr, or nil if absent.
+func (c *Cache) LineData(addr uint32) []byte {
+	ln := c.find(addr)
+	if ln == nil || ln.data == nil {
+		return nil
+	}
+	out := make([]byte, len(ln.data))
+	copy(out, ln.data)
+	return out
+}

@@ -1,0 +1,64 @@
+package codepack
+
+import "encoding/binary"
+
+// The CodePack bit-stream is a sequence of 16-bit little-endian units;
+// within each unit bits are consumed MSB-first. This exact format is what
+// the assembly decompressor implements with lhu + shifts, so the Go
+// encoder/decoder here and the handler in internal/decomp must agree.
+
+type bitWriter struct {
+	out []byte
+	acc uint32
+	n   uint
+}
+
+// writeBits appends the low k bits of v, MSB-first. k <= 16.
+func (w *bitWriter) writeBits(v uint32, k uint) {
+	w.acc = w.acc<<k | v&(1<<k-1)
+	w.n += k
+	for w.n >= 16 {
+		h := uint16(w.acc >> (w.n - 16))
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], h)
+		w.out = append(w.out, b[0], b[1])
+		w.n -= 16
+	}
+}
+
+// alignHalf pads with zero bits to the next 16-bit boundary.
+func (w *bitWriter) alignHalf() {
+	if w.n > 0 {
+		w.writeBits(0, 16-w.n)
+	}
+}
+
+func (w *bitWriter) bytes() []byte { return w.out }
+
+type bitReader struct {
+	data []byte
+	pos  int
+	buf  uint32 // MSB-justified valid bits
+	n    uint
+}
+
+// take consumes k bits (k <= 16), refilling 16 at a time from the stream.
+func (r *bitReader) take(k uint) uint32 {
+	for r.n < k {
+		half := binary.LittleEndian.Uint16(r.data[r.pos:])
+		r.pos += 2
+		r.buf |= uint32(half) << (16 - r.n)
+		r.n += 16
+	}
+	v := r.buf >> (32 - k)
+	r.buf <<= k
+	r.n -= k
+	return v
+}
+
+// seek positions the reader at byte offset off with an empty bit buffer.
+func (r *bitReader) seek(off int) {
+	r.pos = off
+	r.buf = 0
+	r.n = 0
+}

@@ -1,0 +1,205 @@
+package codepack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func genText(r *rand.Rand, groups int, hiPool, loPool int) []byte {
+	out := make([]byte, groups*GroupBytes)
+	for i := 0; i < len(out)/4; i++ {
+		hi := uint16(zipf(r, hiPool))
+		lo := uint16(zipf(r, loPool))
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(hi)<<16|uint32(lo))
+	}
+	return out
+}
+
+// zipf draws a skewed value in [0,pool).
+func zipf(r *rand.Rand, pool int) int {
+	v := int(float64(pool) * r.Float64() * r.Float64() * r.Float64())
+	if v >= pool {
+		v = pool - 1
+	}
+	return v
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	text := genText(r, 64, 500, 3000)
+	c, err := Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Decompress(); !bytes.Equal(got, text) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestBadLength(t *testing.T) {
+	if _, err := Compress(make([]byte, 60)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestCompressionBeatsNative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	text := genText(r, 256, 400, 2000)
+	c, err := Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := c.Ratio(); ratio >= 0.9 {
+		t.Fatalf("ratio = %.3f, expected substantial compression on skewed input", ratio)
+	}
+}
+
+func TestDecodeGroupMatchesFullDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	text := genText(r, 32, 300, 1000)
+	c, err := Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.Decompress()
+	for g := 0; g < len(c.LAT); g++ {
+		words := c.DecodeGroup(g)
+		for i, w := range words {
+			off := (g*GroupInstrs + i) * 4
+			if binary.LittleEndian.Uint32(full[off:]) != w {
+				t.Fatalf("group %d word %d mismatch", g, i)
+			}
+		}
+	}
+}
+
+func TestGroupsAreHalfwordAligned(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	text := genText(r, 64, 100, 100)
+	c, _ := Compress(text)
+	for g, off := range c.LAT {
+		if off&1 != 0 {
+			t.Fatalf("group %d offset %d not halfword aligned", g, off)
+		}
+		if g > 0 && off <= c.LAT[g-1] {
+			t.Fatalf("LAT not strictly increasing at %d", g)
+		}
+	}
+}
+
+func TestTableBytesHeader(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	text := genText(r, 16, 50, 60)
+	c, _ := Compress(text)
+	tb := c.TableBytes()
+	if len(tb) < hdrSize {
+		t.Fatal("tables too small")
+	}
+	if binary.LittleEndian.Uint16(tb[hdrHi0:]) != c.hi.rank0 {
+		t.Fatal("rank0 hi wrong")
+	}
+	if binary.LittleEndian.Uint16(tb[hdrLo0:]) != c.lo.rank0 {
+		t.Fatal("rank0 lo wrong")
+	}
+	offHi1 := binary.LittleEndian.Uint32(tb[hdrHi1Off:])
+	if int(offHi1) != hdrSize {
+		t.Fatalf("hi1 offset = %d", offHi1)
+	}
+	// Entry 0 of hi table1 must be rank-1 value.
+	if len(c.hi.table1) > 0 {
+		if binary.LittleEndian.Uint16(tb[offHi1:]) != c.hi.table1[0] {
+			t.Fatal("hi table1[0] wrong")
+		}
+	}
+	// All six offsets are within bounds and word-aligned.
+	for _, hoff := range []int{hdrHi1Off, hdrLo1Off, hdrHi2Off, hdrLo2Off, hdrHi3Off, hdrLo3Off} {
+		v := binary.LittleEndian.Uint32(tb[hoff:])
+		if v%4 != 0 || int(v) > len(tb) {
+			t.Fatalf("table offset at %#x = %d invalid", hoff, v)
+		}
+	}
+}
+
+func TestBitStreamRoundTrip(t *testing.T) {
+	w := &bitWriter{}
+	vals := []struct {
+		v uint32
+		k uint
+	}{{0b1, 1}, {0b101, 3}, {0xFFFF, 16}, {0, 2}, {0x7FF, 11}, {0b110, 3}, {0x1F, 5}, {0xAB, 8}}
+	for _, x := range vals {
+		w.writeBits(x.v, x.k)
+	}
+	w.alignHalf()
+	r := &bitReader{data: w.bytes()}
+	for i, x := range vals {
+		if got := r.take(x.k); got != x.v {
+			t.Fatalf("value %d: got %#x, want %#x", i, got, x.v)
+		}
+	}
+}
+
+// Property: arbitrary bit sequences survive the writer/reader pair.
+func TestQuickBitStream(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200) + 1
+		type item struct {
+			v uint32
+			k uint
+		}
+		items := make([]item, n)
+		w := &bitWriter{}
+		for i := range items {
+			k := uint(r.Intn(16) + 1)
+			v := r.Uint32() & (1<<k - 1)
+			items[i] = item{v, k}
+			w.writeBits(v, k)
+		}
+		w.alignHalf()
+		rd := &bitReader{data: w.bytes()}
+		for _, it := range items {
+			if rd.take(it.k) != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compress/decompress identity over varied distributions.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		groups := r.Intn(20) + 1
+		text := genText(r, groups, r.Intn(5000)+1, r.Intn(70000)+1)
+		c, err := Compress(text)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(c.Decompress(), text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllEscapePath(t *testing.T) {
+	// Force heavy use of the raw-literal escape: all-unique halfwords.
+	text := make([]byte, 4*GroupBytes)
+	for i := 0; i < len(text)/4; i++ {
+		binary.LittleEndian.PutUint32(text[4*i:], uint32(i)<<16|uint32(0xFFFF-i))
+	}
+	c, err := Compress(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Decompress(), text) {
+		t.Fatal("escape-heavy round trip failed")
+	}
+}

@@ -1,0 +1,27 @@
+package codepack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks compress->decompress identity on arbitrary
+// instruction streams (padded to a whole group).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4}, GroupInstrs))
+	f.Add(bytes.Repeat([]byte{0}, GroupBytes*3))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			return
+		}
+		text := raw[:len(raw)&^(GroupBytes-1)]
+		c, err := Compress(text)
+		if err != nil {
+			t.Fatalf("aligned input rejected: %v", err)
+		}
+		if !bytes.Equal(c.Decompress(), text) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

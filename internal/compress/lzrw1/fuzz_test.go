@@ -1,0 +1,42 @@
+package lzrw1
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the decoder: it must return an
+// error or a correctly sized output, never panic.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{}, 10)
+	f.Add([]byte{0x00, 0x00, 'a', 'b', 'c'}, 3)
+	f.Add(Compress([]byte("hello hello hello hello")), 23)
+	f.Add([]byte{0x01, 0x00, 0x00, 0x01}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, size int) {
+		if size < 0 || size > 1<<20 {
+			return
+		}
+		out, err := Decompress(data, size)
+		if err == nil && len(out) != size {
+			t.Fatalf("no error but %d bytes, want %d", len(out), size)
+		}
+	})
+}
+
+// FuzzRoundTrip checks compress->decompress identity on arbitrary input.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(bytes.Repeat([]byte{0xAB, 0xCD}, 3000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		comp := Compress(src)
+		got, err := Decompress(comp, len(src))
+		if err != nil {
+			t.Fatalf("decompress own output: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,123 @@
+// Package lzrw1 implements Ross Williams' LZRW1 algorithm (Data
+// Compression Conference, 1991): a single-pass LZ77 variant with a
+// 4095-byte window, 16-item control groups, and a simple 4096-entry hash
+// of 3-byte prefixes.
+//
+// The paper uses LZRW1 as the compression-ratio comparator for the
+// procedure-based scheme of Kirovski et al.; Table 2's last column is the
+// ratio of the whole .text section compressed as one unit, reproduced by
+// this package.
+package lzrw1
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	maxOffset = 4095
+	minMatch  = 3
+	maxMatch  = 18
+	hashSize  = 4096
+)
+
+func hash(p []byte) uint32 {
+	return (40543 * (uint32(p[0])<<8 ^ uint32(p[1])<<4 ^ uint32(p[2])) >> 4) & (hashSize - 1)
+}
+
+// Compress encodes src. The format is a sequence of groups: a 16-bit
+// little-endian control word (bit i set = item i is a copy) followed by 16
+// items, each either a literal byte or a 2-byte copy (4-bit length-3,
+// 12-bit offset).
+func Compress(src []byte) []byte {
+	var out []byte
+	var table [hashSize]int
+	for i := range table {
+		table[i] = -1
+	}
+	i := 0
+	for i < len(src) {
+		ctrlPos := len(out)
+		out = append(out, 0, 0)
+		var ctrl uint16
+		for item := 0; item < 16 && i < len(src); item++ {
+			if i+minMatch <= len(src) {
+				h := hash(src[i:])
+				cand := table[h]
+				table[h] = i
+				if cand >= 0 && i-cand <= maxOffset && cand+minMatch <= len(src) {
+					length := 0
+					max := len(src) - i
+					if max > maxMatch {
+						max = maxMatch
+					}
+					for length < max && src[cand+length] == src[i+length] {
+						length++
+					}
+					if length >= minMatch {
+						off := i - cand
+						out = append(out,
+							byte((length-minMatch)<<4|off>>8),
+							byte(off))
+						ctrl |= 1 << item
+						i += length
+						continue
+					}
+				}
+			}
+			out = append(out, src[i])
+			i++
+		}
+		binary.LittleEndian.PutUint16(out[ctrlPos:], ctrl)
+	}
+	return out
+}
+
+// Decompress decodes a Compress output. size is the expected decompressed
+// length (stored externally, as in the original tool).
+func Decompress(data []byte, size int) ([]byte, error) {
+	out := make([]byte, 0, size)
+	i := 0
+	for i < len(data) && len(out) < size {
+		if i+2 > len(data) {
+			return nil, errors.New("lzrw1: truncated control word")
+		}
+		ctrl := binary.LittleEndian.Uint16(data[i:])
+		i += 2
+		for item := 0; item < 16 && len(out) < size; item++ {
+			if ctrl&(1<<item) != 0 {
+				if i+2 > len(data) {
+					return nil, errors.New("lzrw1: truncated copy item")
+				}
+				length := int(data[i]>>4) + minMatch
+				off := int(data[i]&0xF)<<8 | int(data[i+1])
+				i += 2
+				if off == 0 || off > len(out) {
+					return nil, fmt.Errorf("lzrw1: bad offset %d at output %d", off, len(out))
+				}
+				for k := 0; k < length; k++ {
+					out = append(out, out[len(out)-off])
+				}
+			} else {
+				if i >= len(data) {
+					return nil, errors.New("lzrw1: truncated literal")
+				}
+				out = append(out, data[i])
+				i++
+			}
+		}
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("lzrw1: decompressed %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}
+
+// Ratio returns len(Compress(src))/len(src) (Equation 1 of the paper).
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	return float64(len(Compress(src))) / float64(len(src))
+}

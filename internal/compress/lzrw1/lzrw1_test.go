@@ -1,0 +1,116 @@
+package lzrw1
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	comp := Compress(src)
+	got, err := Decompress(comp, len(src))
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	roundTrip(t, nil)
+	if Ratio(nil) != 1 {
+		t.Fatal("empty ratio must be 1")
+	}
+}
+
+func TestRepetitiveTextCompresses(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 100))
+	roundTrip(t, src)
+	if r := Ratio(src); r > 0.3 {
+		t.Fatalf("ratio = %.3f, repetitive text should compress well", r)
+	}
+}
+
+func TestIncompressibleExpandsBoundedly(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	src := make([]byte, 4096)
+	r.Read(src)
+	roundTrip(t, src)
+	// Worst case: 2 control bytes per 16 literals = 12.5% expansion.
+	if ratio := Ratio(src); ratio > 1.13 {
+		t.Fatalf("ratio = %.3f exceeds worst-case bound", ratio)
+	}
+}
+
+func TestLongMatches(t *testing.T) {
+	src := append(bytes.Repeat([]byte{0xAA}, 1000), bytes.Repeat([]byte{0xBB, 0xCC}, 500)...)
+	roundTrip(t, src)
+	if r := Ratio(src); r > 0.2 {
+		t.Fatalf("ratio = %.3f", r)
+	}
+}
+
+func TestOffsetLimit(t *testing.T) {
+	// A repeat beyond the 4095-byte window must still round-trip (encoded
+	// as literals or nearer matches).
+	src := make([]byte, 10000)
+	copy(src, []byte("unique-prefix-data-0123456789"))
+	copy(src[8000:], []byte("unique-prefix-data-0123456789"))
+	roundTrip(t, src)
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress([]byte{0xFF}, 10); err == nil {
+		t.Fatal("truncated control word must error")
+	}
+	// Control word says copy, but no bytes follow.
+	if _, err := Decompress([]byte{0x01, 0x00}, 10); err == nil {
+		t.Fatal("truncated copy must error")
+	}
+	// Copy with offset 0 is invalid.
+	if _, err := Decompress([]byte{0x01, 0x00, 0x00, 0x00}, 10); err == nil {
+		t.Fatal("zero offset must error")
+	}
+	// Size mismatch.
+	comp := Compress([]byte("abc"))
+	if _, err := Decompress(comp, 99); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(8192)
+		src := make([]byte, n)
+		// Mix of random and repetitive spans.
+		i := 0
+		for i < n {
+			run := r.Intn(64) + 1
+			if run > n-i {
+				run = n - i
+			}
+			if r.Intn(2) == 0 {
+				b := byte(r.Intn(256))
+				for k := 0; k < run; k++ {
+					src[i+k] = b
+				}
+			} else {
+				for k := 0; k < run; k++ {
+					src[i+k] = byte(r.Intn(8))
+				}
+			}
+			i += run
+		}
+		comp := Compress(src)
+		got, err := Decompress(comp, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

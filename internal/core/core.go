@@ -1,0 +1,421 @@
+// Package core implements the paper's primary contribution: the
+// software-managed code-decompression architecture. It rewrites a native
+// program image into a compressed image whose code lives in main memory as
+// a dictionary or CodePack representation, installs the matching software
+// decompression handler, and lays out the native/compressed code regions
+// for selective compression (paper §3, Figure 3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compress/codepack"
+	"repro/internal/compress/dict"
+	"repro/internal/decomp"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// SchemeCopy is the null-compression ablation scheme: lines are "decoded"
+// by copying them from a backed golden image, isolating the cost of the
+// exception + swic mechanism.
+const SchemeCopy program.Scheme = "copy"
+
+// Options controls image compression.
+type Options struct {
+	Scheme   program.Scheme
+	ShadowRF bool
+	// IndexBits selects the dictionary codeword width (default Index16).
+	IndexBits dict.IndexBits
+	// NativeProcs names the procedures to keep as native code (selective
+	// compression, §3.3). Empty means compress everything.
+	NativeProcs map[string]bool
+	// Order lays procedures out (within each region) in the given order
+	// instead of preserving the original program order — the hook for the
+	// profile-guided placement the paper proposes as future work (§5.3).
+	// Procedures not listed follow in their original relative order.
+	Order []string
+}
+
+// Result is a compressed program plus its size accounting.
+type Result struct {
+	Image *program.Image
+
+	OriginalSize int // bytes of the original .text
+	StoredSize   int // bytes of memory the code occupies after compression
+	NativeBytes  int // bytes left as native code (selective compression)
+}
+
+// Ratio returns StoredSize/OriginalSize (Equation 1 of the paper).
+func (r *Result) Ratio() float64 {
+	if r.OriginalSize == 0 {
+		return 1
+	}
+	return float64(r.StoredSize) / float64(r.OriginalSize)
+}
+
+// Compress rewrites the native image into a compressed image.
+//
+// Procedures in opts.NativeProcs stay in the memory-backed native region;
+// the rest move to the compressed region, whose contents exist only in the
+// I-cache and are materialised on demand by the decompression handler.
+// Within each region procedures keep their original relative order, so the
+// procedure-placement side-effects the paper reports (§5.3) arise here
+// exactly as they did for the authors.
+func Compress(native *program.Image, opts Options) (*Result, error) {
+	if native.Compress != nil {
+		return nil, fmt.Errorf("core: image is already compressed")
+	}
+	text := native.Segment(program.SegText)
+	if text == nil {
+		return nil, fmt.Errorf("core: image has no %s segment", program.SegText)
+	}
+	if len(native.Procs) == 0 {
+		return nil, fmt.Errorf("core: image has no procedure table")
+	}
+	if opts.IndexBits == 0 {
+		opts.IndexBits = dict.Index16
+	}
+	switch opts.Scheme {
+	case program.SchemeDict, program.SchemeCodePack, program.SchemeProcDict, SchemeCopy:
+	default:
+		return nil, fmt.Errorf("core: unsupported scheme %q", opts.Scheme)
+	}
+
+	// Partition procedures. Within each region the original program
+	// order is preserved (the paper's §3.3 behaviour) unless an explicit
+	// placement order is given.
+	ordered := orderProcs(native.Procs, opts.Order)
+	var natProcs, cmpProcs []program.Procedure
+	for _, p := range ordered {
+		if opts.NativeProcs[p.Name] {
+			natProcs = append(natProcs, p)
+		} else {
+			cmpProcs = append(cmpProcs, p)
+		}
+	}
+	if len(cmpProcs) == 0 {
+		return nil, fmt.Errorf("core: every procedure selected native; nothing to compress")
+	}
+
+	// Dictionary overflow fallback (paper §3.1): when the program has
+	// more unique instructions than the index width can address,
+	// procedures are compressed in order until the dictionary is full
+	// and the remainder is left in the native code region.
+	if opts.Scheme == program.SchemeDict {
+		spill := dictSpill(text, cmpProcs, opts.IndexBits)
+		if spill > 0 {
+			natProcs = append(natProcs, cmpProcs[len(cmpProcs)-spill:]...)
+			cmpProcs = cmpProcs[:len(cmpProcs)-spill]
+			if len(cmpProcs) == 0 {
+				return nil, fmt.Errorf("core: dictionary overflows on the very first procedure; use 16-bit indices")
+			}
+			// Keep the native region in original program order.
+			natProcs = orderProcs(natProcs, nil)
+			sortByAddr(natProcs)
+		}
+	}
+
+	lay := newLayout(native, text)
+	for _, p := range natProcs {
+		lay.placeNative(p)
+	}
+	for _, p := range cmpProcs {
+		lay.placeCompressed(p)
+	}
+	align := decomp.LineBytes
+	if opts.Scheme == program.SchemeCodePack {
+		align = codepack.GroupBytes
+	}
+	lay.padCompressed(align)
+
+	im, err := lay.build(native)
+	if err != nil {
+		return nil, err
+	}
+
+	// Compress the (relocated) bytes of the compressed region.
+	golden := im.Segment(program.SegText).Data
+	var dictSeg, idxSeg, latSeg []byte
+	switch opts.Scheme {
+	case program.SchemeDict:
+		c, err := dict.Compress(golden, opts.IndexBits)
+		if err != nil {
+			return nil, err
+		}
+		dictSeg, idxSeg = c.DictBytes(), c.IndexBytes()
+	case program.SchemeProcDict:
+		// Same dictionary codec, but the handler decompresses whole
+		// procedures: it needs a bounds table (published via the LAT
+		// base register) on top of the dictionary representation.
+		c, err := dict.Compress(golden, dict.Index16)
+		if err != nil {
+			return nil, err
+		}
+		dictSeg, idxSeg = c.DictBytes(), c.IndexBytes()
+		latSeg = procBoundsTable(im, program.CompBase+uint32(len(golden)))
+	case program.SchemeCodePack:
+		c, err := codepack.Compress(golden)
+		if err != nil {
+			return nil, err
+		}
+		dictSeg, idxSeg, latSeg = c.TableBytes(), c.Stream, c.LATBytes()
+	case SchemeCopy:
+		dictSeg = append([]byte(nil), golden...)
+	}
+
+	ci := &program.CompressionInfo{
+		Scheme:    opts.Scheme,
+		CompStart: program.CompBase,
+		CompEnd:   program.CompBase + uint32(len(golden)),
+		ShadowRF:  opts.ShadowRF,
+	}
+	addSeg := func(name string, base uint32, data []byte) uint32 {
+		if len(data) == 0 {
+			return 0
+		}
+		im.Segments = append(im.Segments, &program.Segment{Name: name, Base: base, Data: data})
+		return base
+	}
+	next := uint32(program.CompDataBase)
+	ci.DictBase = addSeg(program.SegDict, next, dictSeg)
+	next += uint32(len(dictSeg)+63) &^ 63
+	ci.IndicesBase = addSeg(program.SegIndices, next, idxSeg)
+	next += uint32(len(idxSeg)+63) &^ 63
+	ci.LATBase = addSeg(program.SegLAT, next, latSeg)
+
+	handler, err := decomp.Build(decomp.Variant{
+		Scheme: opts.Scheme, ShadowRF: opts.ShadowRF, IndexBits: opts.IndexBits})
+	if err != nil {
+		return nil, err
+	}
+	im.Segments = append(im.Segments, handler)
+	im.Compress = ci
+
+	if err := im.Validate(); err != nil {
+		return nil, fmt.Errorf("core: compressed image invalid: %v", err)
+	}
+	res := &Result{
+		Image:        im,
+		OriginalSize: len(text.Data),
+		StoredSize:   len(dictSeg) + len(idxSeg) + len(latSeg) + lay.nativeLen(),
+		NativeBytes:  lay.nativeLen(),
+	}
+	return res, nil
+}
+
+// dictSpill returns how many trailing procedures of cmpProcs must be
+// left native so the remaining unique instruction words fit the
+// dictionary capacity. It walks procedures in compression order,
+// accumulating their unique words (§3.1: "when the dictionary is filled
+// the remainder of the program is left in the native code region").
+func dictSpill(text *program.Segment, cmpProcs []program.Procedure, bits dict.IndexBits) int {
+	// One slot is reserved for the nop padding the region may need.
+	capacity := bits.MaxEntries() - 1
+	seen := make(map[uint32]bool, capacity)
+	for i, p := range cmpProcs {
+		for a := p.Addr; a+4 <= p.Addr+p.Size; a += 4 {
+			w := text.Word(a)
+			if !seen[w] {
+				if len(seen) >= capacity {
+					return len(cmpProcs) - i
+				}
+				seen[w] = true
+			}
+		}
+	}
+	return 0
+}
+
+func sortByAddr(procs []program.Procedure) {
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Addr < procs[j].Addr })
+}
+
+// procBoundsTable serialises the compressed-region procedure bounds for
+// the procedure-granularity handler: [N, start_0..start_{N-1}, regionEnd],
+// little-endian words, starts ascending.
+func procBoundsTable(im *program.Image, regionEnd uint32) []byte {
+	var starts []uint32
+	for _, p := range im.Procs {
+		if p.Addr >= program.CompBase {
+			starts = append(starts, p.Addr)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]byte, 4*(len(starts)+2))
+	put := func(i int, v uint32) {
+		out[4*i] = byte(v)
+		out[4*i+1] = byte(v >> 8)
+		out[4*i+2] = byte(v >> 16)
+		out[4*i+3] = byte(v >> 24)
+	}
+	put(0, uint32(len(starts)))
+	for i, s := range starts {
+		put(1+i, s)
+	}
+	put(1+len(starts), regionEnd)
+	return out
+}
+
+// orderProcs applies an explicit placement order: listed procedures come
+// first in list order, the rest keep their original relative order.
+func orderProcs(procs []program.Procedure, order []string) []program.Procedure {
+	if len(order) == 0 {
+		return procs
+	}
+	rank := make(map[string]int, len(order))
+	for i, name := range order {
+		if _, dup := rank[name]; !dup {
+			rank[name] = i
+		}
+	}
+	out := append([]program.Procedure(nil), procs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i].Name]
+		rj, jok := rank[out[j].Name]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return false // stable: preserve original order
+		}
+	})
+	return out
+}
+
+// layout assigns new addresses to procedures across the two code regions
+// and rewrites symbols and relocation records accordingly.
+type layout struct {
+	text    *program.Segment
+	natBuf  []byte
+	cmpBuf  []byte
+	moves   []move // old range -> new address
+	newSyms map[string]uint32
+	procs   []program.Procedure
+}
+
+type move struct {
+	oldAddr uint32
+	size    uint32
+	newAddr uint32
+	native  bool
+}
+
+func newLayout(native *program.Image, text *program.Segment) *layout {
+	return &layout{
+		text:    text,
+		newSyms: make(map[string]uint32, len(native.Symbols)),
+	}
+}
+
+func (l *layout) placeNative(p program.Procedure) {
+	na := program.NativeBase + uint32(len(l.natBuf))
+	l.natBuf = append(l.natBuf, l.text.Data[p.Addr-l.text.Base:][:p.Size]...)
+	l.moves = append(l.moves, move{p.Addr, p.Size, na, true})
+	l.procs = append(l.procs, program.Procedure{Name: p.Name, Addr: na, Size: p.Size})
+}
+
+func (l *layout) placeCompressed(p program.Procedure) {
+	na := program.CompBase + uint32(len(l.cmpBuf))
+	l.cmpBuf = append(l.cmpBuf, l.text.Data[p.Addr-l.text.Base:][:p.Size]...)
+	l.moves = append(l.moves, move{p.Addr, p.Size, na, false})
+	l.procs = append(l.procs, program.Procedure{Name: p.Name, Addr: na, Size: p.Size})
+}
+
+// padCompressed pads the compressed region to a multiple of n bytes with
+// nop words (never executed; needed so whole lines/groups exist).
+func (l *layout) padCompressed(n int) {
+	for len(l.cmpBuf)%n != 0 {
+		l.cmpBuf = append(l.cmpBuf, 0, 0, 0, 0)
+		_ = isa.NOP // padding words are canonical nops
+	}
+}
+
+func (l *layout) nativeLen() int { return len(l.natBuf) }
+
+// remap translates an old .text address to its new address.
+func (l *layout) remap(addr uint32) (uint32, bool) {
+	for i := range l.moves {
+		m := &l.moves[i]
+		if addr >= m.oldAddr && addr < m.oldAddr+m.size {
+			return m.newAddr + (addr - m.oldAddr), true
+		}
+	}
+	return 0, false
+}
+
+// build assembles the re-laid-out image (before compression segments).
+func (l *layout) build(native *program.Image) (*program.Image, error) {
+	im := &program.Image{Symbols: l.newSyms}
+
+	// Rebase symbols: text symbols move with their procedure, others stay.
+	for name, addr := range native.Symbols {
+		if l.text.Contains(addr) {
+			na, ok := l.remap(addr)
+			if !ok {
+				// Symbol in text but outside every procedure (e.g. padding):
+				// keep it only if nothing references it; drop silently.
+				continue
+			}
+			l.newSyms[name] = na
+		} else {
+			l.newSyms[name] = addr
+		}
+	}
+
+	// Non-text segments are copied; the two code regions are fresh.
+	for _, s := range native.Segments {
+		if s.Name == program.SegText {
+			continue
+		}
+		im.Segments = append(im.Segments, &program.Segment{
+			Name: s.Name, Base: s.Base, Data: append([]byte(nil), s.Data...), Virtual: s.Virtual})
+	}
+	if len(l.natBuf) > 0 {
+		im.Segments = append(im.Segments, &program.Segment{
+			Name: program.SegNative, Base: program.NativeBase, Data: l.natBuf})
+	}
+	im.Segments = append(im.Segments, &program.Segment{
+		Name: program.SegText, Base: program.CompBase, Data: l.cmpBuf, Virtual: true})
+
+	// Remap relocation records into their new segment and offset.
+	for _, r := range native.Relocs {
+		nr := r
+		if r.Seg == program.SegText {
+			oldAddr := l.text.Base + r.Off
+			na, ok := l.remap(oldAddr)
+			if !ok {
+				return nil, fmt.Errorf("core: relocation site %#x outside every procedure", oldAddr)
+			}
+			if na >= program.CompBase {
+				nr.Seg = program.SegText
+				nr.Off = na - program.CompBase
+			} else {
+				nr.Seg = program.SegNative
+				nr.Off = na - program.NativeBase
+			}
+		}
+		im.Relocs = append(im.Relocs, nr)
+	}
+	if err := program.ApplyRelocs(im); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(l.procs, func(i, j int) bool { return l.procs[i].Addr < l.procs[j].Addr })
+	im.Procs = l.procs
+
+	entry, ok := l.remap(native.Entry)
+	if !ok {
+		if l.text.Contains(native.Entry) {
+			return nil, fmt.Errorf("core: entry %#x outside every procedure", native.Entry)
+		}
+		entry = native.Entry
+	}
+	im.Entry = entry
+	return im, nil
+}

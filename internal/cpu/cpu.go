@@ -1,0 +1,245 @@
+// Package cpu implements the simulated processor: a 1-wide, in-order,
+// 5-stage-pipeline timing model (the paper's Table 1 machine) extended
+// with the three instructions that enable software decompression — swic,
+// iret and mfc0 — and with an instruction-cache-miss exception that
+// vectors to the decompression handler for misses inside the compressed
+// code region.
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Config describes the simulated machine. DefaultConfig matches the
+// paper's Table 1.
+type Config struct {
+	ICache cache.Config
+	DCache cache.Config
+	Bus    mem.BusConfig
+
+	PredictorEntries  int
+	MispredictPenalty int // cycles lost on a conditional-branch mispredict
+	JRPenalty         int // fetch-redirect bubble for jr/jalr
+	ExceptionEntry    int // pipeline flush + vector on a decompression exception
+	IretCycles        int // redirect cost of returning from the handler
+	SwicExtraCycles   int // serialisation bubble per swic (paper §4: pipeline flush)
+	LoadUsePenalty    int // interlock bubble when an instruction uses the previous load's result
+
+	// HardwareDecompress models a custom on-chip decompression unit
+	// instead of the software handler (the hardware approaches the paper
+	// contrasts with, e.g. CCRP/CodePack silicon): a miss in the
+	// compressed region stalls for HWDecompressCycles and the line is
+	// filled directly, with no exception and no handler execution.
+	HardwareDecompress bool
+	// HWDecompressCycles is the fixed line-fill latency of the hardware
+	// unit (on top of fetching the compressed bytes over the bus).
+	HWDecompressCycles int
+
+	// MaxInstr bounds total executed instructions (user + handler);
+	// Run returns an error when it is exceeded. 0 means no bound.
+	MaxInstr uint64
+}
+
+// DefaultConfig returns the paper's baseline machine.
+func DefaultConfig() Config {
+	return Config{
+		ICache:            cache.Config{SizeBytes: 16 * 1024, LineBytes: 32, Ways: 2},
+		DCache:            cache.Config{SizeBytes: 8 * 1024, LineBytes: 16, Ways: 2},
+		Bus:               mem.DefaultBus(),
+		PredictorEntries:  2048,
+		MispredictPenalty: 4,
+		JRPenalty:         2,
+		ExceptionEntry:    6,
+		IretCycles:        4,
+		SwicExtraCycles:   1,
+		LoadUsePenalty:    1, // classic 5-stage MEM->EX interlock
+	}
+}
+
+// Stats accumulates run measurements.
+type Stats struct {
+	Cycles        uint64
+	Instrs        uint64 // user (non-handler) instructions committed
+	HandlerInstrs uint64 // instructions executed inside the exception handler
+
+	IMissNative     uint64 // I-cache misses filled by the hardware controller
+	IMissCompressed uint64 // I-cache misses that invoked the decompressor
+	Exceptions      uint64 // decompression exceptions taken
+
+	LoadStalls    uint64 // cycles stalled on D-cache fills
+	FetchStalls   uint64 // cycles stalled on hardware I-cache fills
+	LoadUseStalls uint64 // load-use interlock bubbles
+
+	// Exception service latency (entry to iret, inclusive), for the
+	// real-time determinism the paper's embedded context cares about.
+	ExcCyclesTotal uint64
+	ExcCyclesMax   uint64
+}
+
+// AvgExcCycles returns the mean decompression-exception service latency.
+func (s Stats) AvgExcCycles() float64 {
+	if s.Exceptions == 0 {
+		return 0
+	}
+	return float64(s.ExcCyclesTotal) / float64(s.Exceptions)
+}
+
+// IMisses returns all non-speculative instruction-cache misses.
+func (s Stats) IMisses() uint64 { return s.IMissNative + s.IMissCompressed }
+
+// Profiler receives per-address execution and miss events; the selective
+// compression machinery uses it to build per-procedure profiles.
+type Profiler interface {
+	CountInstr(pc uint32)
+	CountMiss(pc uint32)
+}
+
+// CallProfiler is an optional extension of Profiler: implementations also
+// receive procedure-call events (jal/jalr), which the code-placement
+// optimiser uses to build the call-affinity graph.
+type CallProfiler interface {
+	Profiler
+	CountCall(from, to uint32)
+}
+
+// CPU is one simulated processor instance.
+type CPU struct {
+	Cfg Config
+	Mem *mem.Memory
+	IC  *cache.Cache
+	DC  *cache.Cache
+	BP  *bpred.Predictor
+
+	regs [2][32]uint32 // two register files (paper §4.1)
+	bank int           // active register file
+	c0   [8]uint32
+	pc   uint32
+	hi   uint32
+	lo   uint32
+
+	inHandler bool
+	savedBank int
+
+	compStart, compEnd uint32 // compressed code region ([start,end), 0,0 = none)
+	handlerPC          uint32
+	handlerEnd         uint32
+	goldenText         *program.Segment // decompressed bytes (hardware-decompress mode)
+
+	halted   bool
+	exitCode int32
+	lastExc  uint32 // address of the last decompression exception
+	excRepet int    // consecutive exceptions at the same address
+	lastLoad int    // register written by the previous instruction if it was a load (-1 otherwise)
+	excStart uint64 // Stats.Cycles at the last exception entry
+
+	Stats Stats
+	Prof  Profiler
+	Out   io.Writer
+	// Trace, when set, receives every committed instruction (after
+	// execution): its address, encoding and whether it ran inside the
+	// decompression handler. Used by the trace ring in internal/trace.
+	Trace func(pc, instr uint32, handler bool)
+}
+
+// New builds a CPU with the given configuration.
+func New(cfg Config) (*CPU, error) {
+	ic, err := cache.New(cfg.ICache, true)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: I-cache: %v", err)
+	}
+	dc, err := cache.New(cfg.DCache, false)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: D-cache: %v", err)
+	}
+	return &CPU{
+		Cfg:      cfg,
+		Mem:      mem.New(cfg.Bus),
+		IC:       ic,
+		DC:       dc,
+		BP:       bpred.New(cfg.PredictorEntries),
+		lastLoad: -1,
+	}, nil
+}
+
+// Load installs a program image: loads every non-virtual segment into
+// memory, configures the compressed-region geometry and system registers,
+// and resets the architectural state.
+func (c *CPU) Load(im *program.Image) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	c.Mem.LoadImage(im)
+	c.pc = im.Entry
+	c.regs[0][29] = program.StackTop // $sp
+	c.regs[1][29] = program.StackTop
+	if h := im.Segment(program.SegDecompressor); h != nil {
+		c.handlerPC = h.Base
+		c.handlerEnd = h.End()
+	}
+	if ci := im.Compress; ci != nil {
+		if c.handlerPC == 0 && !c.Cfg.HardwareDecompress {
+			return fmt.Errorf("cpu: compressed image without a %s segment", program.SegDecompressor)
+		}
+		c.goldenText = im.Segment(program.SegText)
+		c.compStart, c.compEnd = ci.CompStart, ci.CompEnd
+		c.c0[0] = ci.CompStart   // DBASE
+		c.c0[1] = ci.DictBase    // DICT
+		c.c0[2] = ci.IndicesBase // INDICES
+		c.c0[3] = ci.LATBase     // LAT
+		if ci.ShadowRF {
+			c.c0[6] |= 2 // StatusShadowRF
+		}
+	}
+	return nil
+}
+
+// PC returns the current program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Reg returns register r of the active file.
+func (c *CPU) Reg(r int) uint32 { return c.regs[c.bank][r] }
+
+// SetReg writes register r of the active file ($zero writes are dropped).
+func (c *CPU) SetReg(r int, v uint32) {
+	if r != 0 {
+		c.regs[c.bank][r] = v
+	}
+}
+
+// C0 returns system register n.
+func (c *CPU) C0(n int) uint32 { return c.c0[n&7] }
+
+// Halted reports whether the program has exited, and with which code.
+func (c *CPU) Halted() (bool, int32) { return c.halted, c.exitCode }
+
+// InCompressedRegion reports whether addr lies in the compressed
+// (decompressed-on-miss) code region.
+func (c *CPU) InCompressedRegion(addr uint32) bool {
+	return addr >= c.compStart && addr < c.compEnd
+}
+
+func (c *CPU) inHandlerRAM(addr uint32) bool {
+	return addr >= c.handlerPC && addr < c.handlerEnd
+}
+
+// Run executes instructions until the program exits or a limit is hit.
+// It returns the exit code (0 if still running when maxInstr was reached
+// with MaxInstr==0 semantics, see Config).
+func (c *CPU) Run() (int32, error) {
+	for !c.halted {
+		if err := c.Step(); err != nil {
+			return -1, err
+		}
+		if c.Cfg.MaxInstr > 0 && c.Stats.Instrs+c.Stats.HandlerInstrs >= c.Cfg.MaxInstr {
+			return -1, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x",
+				c.Cfg.MaxInstr, c.pc)
+		}
+	}
+	return c.exitCode, nil
+}

@@ -1,0 +1,455 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Step fetches, executes and retires one instruction, charging cycles to
+// the timing model.
+func (c *CPU) Step() error {
+	w, err := c.fetch()
+	if err != nil {
+		return err
+	}
+	if w == fetchException {
+		return nil // the exception redirected the PC into the handler
+	}
+	return c.execute(w)
+}
+
+// fetchException is returned by fetch when a decompression exception was
+// raised instead of delivering an instruction. It is an invalid encoding
+// (primary opcode 0x3F) so it can never collide with a real instruction.
+const fetchException = 0xFFFFFFFF
+
+func (c *CPU) fetch() (uint32, error) {
+	pc := c.pc
+	if pc&3 != 0 {
+		return 0, fmt.Errorf("cpu: unaligned fetch at %#x", pc)
+	}
+	// The decompressor executes from its own on-chip RAM, accessed in
+	// parallel with the I-cache (paper §4.1): no cache involvement.
+	if c.inHandlerRAM(pc) {
+		return c.Mem.ReadWord(pc), nil
+	}
+	if !c.IC.Access(pc) {
+		if c.InCompressedRegion(pc) {
+			if c.Cfg.HardwareDecompress {
+				if err := c.hardwareFill(pc); err != nil {
+					return 0, err
+				}
+			} else {
+				return fetchException, c.raiseDecompress(pc)
+			}
+		} else {
+			// Hardware fill from backed memory.
+			base := c.IC.LineBase(pc)
+			if !c.Mem.Backed(base) {
+				return 0, fmt.Errorf("cpu: fetch from unmapped address %#x", pc)
+			}
+			line := make([]byte, c.Cfg.ICache.LineBytes)
+			stall := c.Mem.ReadBlock(base, line)
+			c.IC.Fill(base, line)
+			c.Stats.Cycles += uint64(stall)
+			c.Stats.FetchStalls += uint64(stall)
+			c.Stats.IMissNative++
+			if c.Prof != nil && !c.inHandler {
+				c.Prof.CountMiss(pc)
+			}
+		}
+	}
+	w, ok := c.IC.ReadWord(pc)
+	if !ok {
+		return 0, fmt.Errorf("cpu: internal error: line at %#x vanished", pc)
+	}
+	return w, nil
+}
+
+// hardwareFill models a hardware decompression unit: the compressed
+// bytes are fetched over the bus (about half a line for the dictionary
+// scheme) and decoded with a fixed latency, then the native line is
+// installed — no exception, no handler instructions.
+func (c *CPU) hardwareFill(pc uint32) error {
+	if c.goldenText == nil {
+		return fmt.Errorf("cpu: hardware decompression without decompressed text at %#x", pc)
+	}
+	base := c.IC.LineBase(pc)
+	n := c.Cfg.ICache.LineBytes
+	line := make([]byte, n)
+	for i := 0; i < n; i++ {
+		a := base + uint32(i)
+		if c.goldenText.Contains(a) {
+			line[i] = c.goldenText.Data[a-c.goldenText.Base]
+		}
+	}
+	stall := c.Mem.Bus().BurstCycles(n/2) + c.Cfg.HWDecompressCycles
+	c.Mem.Reads++
+	c.Mem.BytesRead += uint64(n / 2)
+	c.IC.Fill(base, line)
+	c.Stats.Cycles += uint64(stall)
+	c.Stats.FetchStalls += uint64(stall)
+	c.Stats.IMissCompressed++
+	if c.Prof != nil && !c.inHandler {
+		c.Prof.CountMiss(pc)
+	}
+	return nil
+}
+
+func (c *CPU) raiseDecompress(pc uint32) error {
+	if c.inHandler {
+		return fmt.Errorf("cpu: nested decompression exception at %#x", pc)
+	}
+	if pc == c.lastExc {
+		c.excRepet++
+		if c.excRepet >= 2 {
+			return fmt.Errorf("cpu: handler failed to fill line for %#x (repeated exception)", pc)
+		}
+	} else {
+		c.lastExc, c.excRepet = pc, 0
+	}
+	c.Stats.Exceptions++
+	c.Stats.IMissCompressed++
+	c.excStart = c.Stats.Cycles
+	c.Stats.Cycles += uint64(c.Cfg.ExceptionEntry)
+	if c.Prof != nil {
+		c.Prof.CountMiss(pc)
+	}
+	c.c0[4] = pc    // EPC
+	c.c0[5] = pc    // BADVA
+	c.c0[6] |= 1    // StatusEXL
+	c.lastLoad = -1 // the flush drains the pipeline
+	c.inHandler = true
+	c.savedBank = c.bank
+	if c.c0[6]&2 != 0 { // shadow register file enabled
+		c.bank = 1
+	}
+	c.pc = c.handlerPC
+	return nil
+}
+
+func (c *CPU) execute(w uint32) error {
+	r := &c.regs[c.bank]
+	pc := c.pc
+	next := pc + 4
+	cycles := uint64(1)
+	wasHandler := c.inHandler // iret clears it mid-instruction
+
+	// Load-use interlock: a 5-stage pipeline bubbles one cycle when an
+	// instruction consumes the value the immediately preceding load
+	// produced (MEM -> EX forwarding gap).
+	if c.lastLoad >= 0 {
+		if a, b := isa.SrcRegs(w); a == c.lastLoad || b == c.lastLoad {
+			cycles += uint64(c.Cfg.LoadUsePenalty)
+			c.Stats.LoadUseStalls++
+		}
+	}
+	c.lastLoad = isa.LoadDest(w)
+
+	switch isa.Op(w) {
+	case isa.OpSpecial:
+		rs, rt, rd := isa.Rs(w), isa.Rt(w), isa.Rd(w)
+		switch isa.Funct(w) {
+		case isa.FnSLL:
+			c.setr(r, rd, r[rt]<<isa.Shamt(w))
+		case isa.FnSRL:
+			c.setr(r, rd, r[rt]>>isa.Shamt(w))
+		case isa.FnSRA:
+			c.setr(r, rd, uint32(int32(r[rt])>>isa.Shamt(w)))
+		case isa.FnSLLV:
+			c.setr(r, rd, r[rt]<<(r[rs]&31))
+		case isa.FnSRLV:
+			c.setr(r, rd, r[rt]>>(r[rs]&31))
+		case isa.FnSRAV:
+			c.setr(r, rd, uint32(int32(r[rt])>>(r[rs]&31)))
+		case isa.FnJR:
+			next = r[rs]
+			cycles += uint64(c.Cfg.JRPenalty)
+		case isa.FnJALR:
+			c.setr(r, rd, pc+4)
+			next = r[rs]
+			cycles += uint64(c.Cfg.JRPenalty)
+			c.countCall(pc, next)
+		case isa.FnSYSCALL:
+			if err := c.syscall(r); err != nil {
+				return err
+			}
+		case isa.FnBREAK:
+			return fmt.Errorf("cpu: break at %#x", pc)
+		case isa.FnMFHI:
+			c.setr(r, rd, c.hi)
+		case isa.FnMFLO:
+			c.setr(r, rd, c.lo)
+		case isa.FnMULT:
+			p := int64(int32(r[rs])) * int64(int32(r[rt]))
+			c.lo, c.hi = uint32(p), uint32(p>>32)
+		case isa.FnMULTU:
+			p := uint64(r[rs]) * uint64(r[rt])
+			c.lo, c.hi = uint32(p), uint32(p>>32)
+		case isa.FnDIV:
+			if r[rt] != 0 {
+				c.lo = uint32(int32(r[rs]) / int32(r[rt]))
+				c.hi = uint32(int32(r[rs]) % int32(r[rt]))
+			}
+		case isa.FnDIVU:
+			if r[rt] != 0 {
+				c.lo = r[rs] / r[rt]
+				c.hi = r[rs] % r[rt]
+			}
+		case isa.FnADD, isa.FnADDU:
+			c.setr(r, rd, r[rs]+r[rt])
+		case isa.FnSUB, isa.FnSUBU:
+			c.setr(r, rd, r[rs]-r[rt])
+		case isa.FnAND:
+			c.setr(r, rd, r[rs]&r[rt])
+		case isa.FnOR:
+			c.setr(r, rd, r[rs]|r[rt])
+		case isa.FnXOR:
+			c.setr(r, rd, r[rs]^r[rt])
+		case isa.FnNOR:
+			c.setr(r, rd, ^(r[rs] | r[rt]))
+		case isa.FnSLT:
+			c.setr(r, rd, b2u(int32(r[rs]) < int32(r[rt])))
+		case isa.FnSLTU:
+			c.setr(r, rd, b2u(r[rs] < r[rt]))
+		default:
+			return fmt.Errorf("cpu: illegal funct %#x at %#x", isa.Funct(w), pc)
+		}
+
+	case isa.OpRegImm:
+		rs := isa.Rs(w)
+		var taken bool
+		switch isa.Rt(w) {
+		case isa.RtBLTZ:
+			taken = int32(r[rs]) < 0
+		case isa.RtBGEZ:
+			taken = int32(r[rs]) >= 0
+		default:
+			return fmt.Errorf("cpu: illegal regimm %#x at %#x", isa.Rt(w), pc)
+		}
+		cycles += c.branch(pc, taken)
+		if taken {
+			next = isa.BranchTarget(pc, w)
+		}
+
+	case isa.OpJ:
+		next = isa.JumpTarget(pc, w)
+	case isa.OpJAL:
+		c.setr(r, 31, pc+4)
+		next = isa.JumpTarget(pc, w)
+		c.countCall(pc, next)
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ:
+		rs, rt := isa.Rs(w), isa.Rt(w)
+		var taken bool
+		switch isa.Op(w) {
+		case isa.OpBEQ:
+			taken = r[rs] == r[rt]
+		case isa.OpBNE:
+			taken = r[rs] != r[rt]
+		case isa.OpBLEZ:
+			taken = int32(r[rs]) <= 0
+		case isa.OpBGTZ:
+			taken = int32(r[rs]) > 0
+		}
+		cycles += c.branch(pc, taken)
+		if taken {
+			next = isa.BranchTarget(pc, w)
+		}
+
+	case isa.OpADDI, isa.OpADDIU:
+		c.setr(r, isa.Rt(w), r[isa.Rs(w)]+uint32(isa.SImm(w)))
+	case isa.OpSLTI:
+		c.setr(r, isa.Rt(w), b2u(int32(r[isa.Rs(w)]) < isa.SImm(w)))
+	case isa.OpSLTIU:
+		c.setr(r, isa.Rt(w), b2u(r[isa.Rs(w)] < uint32(isa.SImm(w))))
+	case isa.OpANDI:
+		c.setr(r, isa.Rt(w), r[isa.Rs(w)]&isa.Imm(w))
+	case isa.OpORI:
+		c.setr(r, isa.Rt(w), r[isa.Rs(w)]|isa.Imm(w))
+	case isa.OpXORI:
+		c.setr(r, isa.Rt(w), r[isa.Rs(w)]^isa.Imm(w))
+	case isa.OpLUI:
+		c.setr(r, isa.Rt(w), isa.Imm(w)<<16)
+
+	case isa.OpCOP0:
+		switch isa.Rs(w) {
+		case isa.CopMFC0:
+			c.setr(r, isa.Rt(w), c.c0[isa.Rd(w)&7])
+		case isa.CopMTC0:
+			c.c0[isa.Rd(w)&7] = r[isa.Rt(w)]
+		case isa.CopCO:
+			if isa.Funct(w) != isa.FnIRET {
+				return fmt.Errorf("cpu: illegal cop0 funct %#x at %#x", isa.Funct(w), pc)
+			}
+			if !c.inHandler {
+				return fmt.Errorf("cpu: iret outside handler at %#x", pc)
+			}
+			c.inHandler = false
+			c.bank = c.savedBank
+			c.c0[6] &^= 1
+			c.lastLoad = -1 // redirect drains the pipeline
+			next = c.c0[4]  // EPC
+			cycles += uint64(c.Cfg.IretCycles)
+		default:
+			return fmt.Errorf("cpu: illegal cop0 rs %#x at %#x", isa.Rs(w), pc)
+		}
+
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
+		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+		cycles += c.dRead(addr)
+		var v uint32
+		switch isa.Op(w) {
+		case isa.OpLB:
+			v = uint32(int32(int8(c.Mem.LoadByte(addr))))
+		case isa.OpLBU:
+			v = uint32(c.Mem.LoadByte(addr))
+		case isa.OpLH:
+			if addr&1 != 0 {
+				return fmt.Errorf("cpu: unaligned lh at %#x (addr %#x)", pc, addr)
+			}
+			v = uint32(int32(int16(c.Mem.ReadHalf(addr))))
+		case isa.OpLHU:
+			if addr&1 != 0 {
+				return fmt.Errorf("cpu: unaligned lhu at %#x (addr %#x)", pc, addr)
+			}
+			v = uint32(c.Mem.ReadHalf(addr))
+		case isa.OpLW:
+			if addr&3 != 0 {
+				return fmt.Errorf("cpu: unaligned lw at %#x (addr %#x)", pc, addr)
+			}
+			v = c.Mem.ReadWord(addr)
+		}
+		c.setr(r, isa.Rt(w), v)
+
+	case isa.OpSB:
+		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+		c.Mem.StoreByte(addr, byte(r[isa.Rt(w)]))
+	case isa.OpSH:
+		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+		if addr&1 != 0 {
+			return fmt.Errorf("cpu: unaligned sh at %#x (addr %#x)", pc, addr)
+		}
+		c.Mem.WriteHalf(addr, uint16(r[isa.Rt(w)]))
+	case isa.OpSW:
+		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+		if addr&3 != 0 {
+			return fmt.Errorf("cpu: unaligned sw at %#x (addr %#x)", pc, addr)
+		}
+		c.Mem.WriteWord(addr, r[isa.Rt(w)])
+
+	case isa.OpSWIC:
+		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+		if addr&3 != 0 {
+			return fmt.Errorf("cpu: unaligned swic at %#x (addr %#x)", pc, addr)
+		}
+		c.IC.WriteWord(addr, r[isa.Rt(w)])
+		cycles += uint64(c.Cfg.SwicExtraCycles)
+
+	default:
+		return fmt.Errorf("cpu: illegal opcode %#x at %#x", isa.Op(w), pc)
+	}
+
+	c.Stats.Cycles += cycles
+	if wasHandler && !c.inHandler {
+		// This instruction was the iret: close the exception interval.
+		lat := c.Stats.Cycles - c.excStart
+		c.Stats.ExcCyclesTotal += lat
+		if lat > c.Stats.ExcCyclesMax {
+			c.Stats.ExcCyclesMax = lat
+		}
+	}
+	if c.Trace != nil {
+		c.Trace(pc, w, wasHandler)
+	}
+	if wasHandler {
+		c.Stats.HandlerInstrs++
+	} else {
+		c.Stats.Instrs++
+		if c.Prof != nil {
+			c.Prof.CountInstr(pc)
+		}
+	}
+	c.pc = next
+	return nil
+}
+
+func (c *CPU) countCall(from, to uint32) {
+	if c.inHandler || c.Prof == nil {
+		return
+	}
+	if cp, ok := c.Prof.(CallProfiler); ok {
+		cp.CountCall(from, to)
+	}
+}
+
+func (c *CPU) setr(r *[32]uint32, rd int, v uint32) {
+	if rd != 0 {
+		r[rd] = v
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// branch trains the predictor and returns the penalty cycles.
+func (c *CPU) branch(pc uint32, taken bool) uint64 {
+	if c.BP.Update(pc, taken) {
+		return 0
+	}
+	return uint64(c.Cfg.MispredictPenalty)
+}
+
+// dRead performs the D-cache access for a load and returns stall cycles.
+// Stores are write-through/no-allocate and charge no stall (write buffer).
+func (c *CPU) dRead(addr uint32) uint64 {
+	if c.DC.Access(addr) {
+		return 0
+	}
+	stall := c.Mem.Bus().BurstCycles(c.Cfg.DCache.LineBytes)
+	c.Mem.Reads++
+	c.Mem.BytesRead += uint64(c.Cfg.DCache.LineBytes)
+	c.DC.Fill(c.DC.LineBase(addr), nil)
+	c.Stats.LoadStalls += uint64(stall)
+	return uint64(stall)
+}
+
+func (c *CPU) syscall(r *[32]uint32) error {
+	switch r[2] { // $v0
+	case isa.SysPrintInt:
+		c.print(fmt.Sprintf("%d", int32(r[4])))
+	case isa.SysPrintHex:
+		c.print(fmt.Sprintf("%#x", r[4]))
+	case isa.SysPrintChar:
+		c.print(string(rune(r[4] & 0xFF)))
+	case isa.SysPrintString:
+		addr := r[4]
+		var buf []byte
+		for i := 0; i < 4096; i++ {
+			b := c.Mem.LoadByte(addr + uint32(i))
+			if b == 0 {
+				break
+			}
+			buf = append(buf, b)
+		}
+		c.print(string(buf))
+	case isa.SysExit:
+		c.halted = true
+		c.exitCode = int32(r[4])
+	default:
+		return fmt.Errorf("cpu: unknown syscall %d at %#x", r[2], c.pc)
+	}
+	return nil
+}
+
+func (c *CPU) print(s string) {
+	if c.Out != nil {
+		io.WriteString(c.Out, s)
+	}
+}

@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"sort"
+
+	"repro/internal/program"
+)
+
+// ProcProfile attributes dynamic instruction counts, non-speculative
+// I-cache misses and call edges to the procedures of an image. It
+// implements CallProfiler.
+type ProcProfile struct {
+	Procs  []program.Procedure
+	Execs  []uint64
+	Misses []uint64
+	// Calls counts dynamic calls between procedure pairs, keyed by
+	// [caller index, callee index]. The code-placement optimiser uses it
+	// as the affinity graph.
+	Calls map[[2]int]uint64
+
+	last int // memo: most events hit the same procedure as the previous one
+}
+
+// NewProcProfile builds a profile over the image's procedure table.
+func NewProcProfile(im *program.Image) *ProcProfile {
+	procs := append([]program.Procedure(nil), im.Procs...)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Addr < procs[j].Addr })
+	return &ProcProfile{
+		Procs:  procs,
+		Execs:  make([]uint64, len(procs)),
+		Misses: make([]uint64, len(procs)),
+		Calls:  make(map[[2]int]uint64),
+	}
+}
+
+func (p *ProcProfile) index(addr uint32) int {
+	if p.last < len(p.Procs) && p.Procs[p.last].Contains(addr) {
+		return p.last
+	}
+	i := sort.Search(len(p.Procs), func(i int) bool {
+		return p.Procs[i].Addr+p.Procs[i].Size > addr
+	})
+	if i < len(p.Procs) && p.Procs[i].Contains(addr) {
+		p.last = i
+		return i
+	}
+	return -1
+}
+
+// CountInstr attributes one committed instruction at pc.
+func (p *ProcProfile) CountInstr(pc uint32) {
+	if i := p.index(pc); i >= 0 {
+		p.Execs[i]++
+	}
+}
+
+// CountMiss attributes one non-speculative I-cache miss at pc.
+func (p *ProcProfile) CountMiss(pc uint32) {
+	if i := p.index(pc); i >= 0 {
+		p.Misses[i]++
+	}
+}
+
+// CountCall attributes one dynamic call from the instruction at from to
+// the procedure containing to.
+func (p *ProcProfile) CountCall(from, to uint32) {
+	fi := p.index(from)
+	ti := p.index(to)
+	if fi >= 0 && ti >= 0 {
+		p.Calls[[2]int{fi, ti}]++
+	}
+}
+
+// ByName returns the exec and miss counts of the named procedure.
+func (p *ProcProfile) ByName(name string) (execs, misses uint64) {
+	for i := range p.Procs {
+		if p.Procs[i].Name == name {
+			return p.Execs[i], p.Misses[i]
+		}
+	}
+	return 0, 0
+}
+
+// TotalExecs returns the sum of attributed instruction counts.
+func (p *ProcProfile) TotalExecs() uint64 {
+	var n uint64
+	for _, v := range p.Execs {
+		n += v
+	}
+	return n
+}
+
+// TotalMisses returns the sum of attributed miss counts.
+func (p *ProcProfile) TotalMisses() uint64 {
+	var n uint64
+	for _, v := range p.Misses {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package decomp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// procdictSource builds the procedure-granularity dictionary
+// decompressor: on a miss anywhere inside a procedure, the whole
+// procedure is decompressed into the I-cache. It models the
+// procedure-based scheme of Kirovski et al. that the paper compares
+// against (§2, §5.2), but with the same dictionary codec as the
+// line-granularity handler so the two differ only in granularity.
+//
+// The handler binary-searches a procedure-bounds table (word 0: count N;
+// words 1..N: procedure start addresses, ascending; word N+1: region
+// end), whose base is published in $c0_lat. It then runs the ordinary
+// dictionary loop over the procedure's line-aligned address range.
+func procdictSource(shadowRF bool) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString("        .proc __decompress_procdict\n__decompress_procdict:\n")
+	saved := []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$s0", "$s1"}
+	if !shadowRF {
+		for i, r := range saved {
+			fmt.Fprintf(&b, "        sw    %s, %d($sp)\n", r, -4*(i+1))
+		}
+	}
+	b.WriteString(`        mfc0  $k1, $c0_badva
+        mfc0  $t0, $c0_lat       # procedure-bounds table base
+        lw    $t1, 0($t0)        # N procedures
+        addiu $t2, $t0, 4        # starts[] base
+        # Binary search: greatest i with starts[i] <= badva.
+        move  $t3, $zero         # lo
+        move  $t4, $t1           # hi
+bsloop: subu  $t5, $t4, $t3
+        slti  $t6, $t5, 2
+        bne   $t6, $zero, bsdone
+        addu  $t5, $t3, $t4
+        srl   $t5, $t5, 1        # mid
+        sll   $t6, $t5, 2
+        addu  $t6, $t6, $t2
+        lw    $t6, 0($t6)        # starts[mid]
+        sltu  $t7, $k1, $t6
+        beq   $t7, $zero, bslo
+        move  $t4, $t5           # badva < starts[mid]: hi = mid
+        b     bsloop
+bslo:   move  $t3, $t5           # lo = mid
+        b     bsloop
+bsdone: sll   $t5, $t3, 2
+        addu  $t5, $t5, $t2
+        lw    $s0, 0($t5)        # procedure start
+        lw    $s1, 4($t5)        # procedure end (next start / sentinel)
+        srl   $s0, $s0, 5
+        sll   $s0, $s0, 5        # align start down to a line
+        addiu $s1, $s1, 31
+        srl   $s1, $s1, 5
+        sll   $s1, $s1, 5        # align end up to a line
+        # Dictionary decompression of the whole range (Figure 2 loop).
+        mfc0  $k0, $c0_dbase
+        mfc0  $t2, $c0_dict
+        mfc0  $t3, $c0_indices
+        subu  $t1, $s0, $k0
+        srl   $t1, $t1, 1
+        addu  $t1, $t3, $t1      # index address
+ploop:  lhu   $t3, 0($t1)
+        addiu $t1, $t1, 2
+        sll   $t3, $t3, 2
+        addu  $t3, $t3, $t2
+        lw    $k0, 0($t3)
+        swic  $k0, 0($s0)
+        addiu $s0, $s0, 4
+        bne   $s0, $s1, ploop
+`)
+	if !shadowRF {
+		for i, r := range saved {
+			fmt.Fprintf(&b, "        lw    %s, %d($sp)\n", r, -4*(i+1))
+		}
+	}
+	b.WriteString("        iret\n        .endp\n")
+	return b.String()
+}

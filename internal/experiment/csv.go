@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/program"
+)
+
+// WriteCSV regenerates every table and figure and writes them as CSV
+// files under dir (created if needed), ready for external plotting:
+//
+//	table2.csv, table3.csv, fig4_dict.csv, fig4_codepack.csv, fig5.csv
+func (s *Suite) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	t2, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"bench", "dynamic_instrs", "miss_ratio_16k",
+		"original_bytes", "dict_bytes", "codepack_bytes",
+		"dict_ratio", "codepack_ratio", "lzrw1_ratio"}}
+	for _, r := range t2 {
+		rows = append(rows, []string{r.Bench,
+			fmt.Sprint(r.DynamicInstrs), f(r.MissRatio16K),
+			fmt.Sprint(r.OriginalSize), fmt.Sprint(r.DictSize), fmt.Sprint(r.CPSize),
+			f(r.DictRatio), f(r.CPRatio), f(r.LZRW1Ratio)})
+	}
+	if err := writeCSV(filepath.Join(dir, "table2.csv"), rows); err != nil {
+		return err
+	}
+
+	t3, err := s.Table3()
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"bench", "dict", "dict_rf", "codepack", "codepack_rf"}}
+	for _, r := range t3 {
+		rows = append(rows, []string{r.Bench, f(r.D), f(r.DRF), f(r.CP), f(r.CPRF)})
+	}
+	if err := writeCSV(filepath.Join(dir, "table3.csv"), rows); err != nil {
+		return err
+	}
+
+	for _, sc := range []struct {
+		scheme program.Scheme
+		file   string
+	}{
+		{program.SchemeDict, "fig4_dict.csv"},
+		{program.SchemeCodePack, "fig4_codepack.csv"},
+	} {
+		pts, err := s.Figure4(sc.scheme)
+		if err != nil {
+			return err
+		}
+		rows = [][]string{{"bench", "cache_kb", "shadow_rf", "miss_ratio", "slowdown"}}
+		for _, p := range pts {
+			rows = append(rows, []string{p.Bench, fmt.Sprint(p.CacheKB),
+				fmt.Sprint(p.ShadowRF), f(p.MissRatio), f(p.Slowdown)})
+		}
+		if err := writeCSV(filepath.Join(dir, sc.file), rows); err != nil {
+			return err
+		}
+	}
+
+	curves, err := s.Figure5()
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"bench", "scheme", "policy", "threshold", "ratio", "slowdown", "native_procs"}}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			rows = append(rows, []string{c.Bench, string(c.Scheme), c.Policy.String(),
+				f(p.Threshold), f(p.Ratio), f(p.Slowdown), fmt.Sprint(p.Native)})
+		}
+	}
+	return writeCSV(filepath.Join(dir, "fig5.csv"), rows)
+}
+
+func f(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+func writeCSV(path string, rows [][]string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(file)
+	if err := w.WriteAll(rows); err != nil {
+		file.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSuite(0.1)
+	s.Only = []string{"pegwit"}
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]int{ // file -> minimum data rows
+		"table2.csv":        1,
+		"table3.csv":        1,
+		"fig4_dict.csv":     6, // 3 cache sizes x 2 RF configs
+		"fig4_codepack.csv": 6,
+		"fig5.csv":          10,
+	}
+	for name, minRows := range files {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rows) < minRows+1 {
+			t.Errorf("%s: %d rows, want at least %d data rows", name, len(rows), minRows)
+		}
+		// Every row must match the header width.
+		for i, r := range rows {
+			if len(r) != len(rows[0]) {
+				t.Errorf("%s row %d: %d columns, header has %d", name, i, len(r), len(rows[0]))
+			}
+		}
+	}
+}
+
+func TestLatencyStudy(t *testing.T) {
+	s := NewSuite(0.1)
+	s.Only = []string{"go"}
+	rows, err := s.Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(scheme string, rf bool) LatencyRow {
+		for _, r := range rows {
+			if string(r.Scheme) == scheme && r.ShadowRF == rf {
+				return r
+			}
+		}
+		t.Fatalf("missing %s rf=%v", scheme, rf)
+		return LatencyRow{}
+	}
+	d := get("dict", false)
+	drf := get("dict", true)
+	cp := get("codepack", true)
+	pd := get("procdict", true)
+	if d.Avg <= 0 || d.Max == 0 {
+		t.Fatalf("empty latency measurements: %+v", d)
+	}
+	if !(drf.Avg < d.Avg) {
+		t.Errorf("RF should cut dictionary latency: %+v vs %+v", drf, d)
+	}
+	if !(cp.Avg > d.Avg*3) {
+		t.Errorf("CodePack latency should dwarf dictionary: %+v vs %+v", cp, d)
+	}
+	if !(pd.Max > cp.Max) {
+		t.Errorf("procedure granularity should have the worst tail: %+v vs %+v", pd, cp)
+	}
+	out := FormatLatency(rows)
+	if out == "" {
+		t.Fatal("empty format")
+	}
+}

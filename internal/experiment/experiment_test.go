@@ -1,0 +1,224 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/selective"
+)
+
+// smallSuite restricts to two contrasting benchmarks at reduced length to
+// keep the test fast: pegwit (loop-oriented, low miss) and go (thrashy).
+func smallSuite() *Suite {
+	s := NewSuite(0.15)
+	s.Only = []string{"pegwit", "go"}
+	return s
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"16KB, 32B lines, 2-assoc", "8KB, 16B lines", "bimode 2048", "10 cycle latency, 2 cycle rate", "64 bits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DictRatio <= 0.5 || r.DictRatio >= 1 {
+			t.Errorf("%s: dict ratio %.3f out of band", r.Bench, r.DictRatio)
+		}
+		if r.CPRatio >= r.DictRatio {
+			t.Errorf("%s: CodePack (%.3f) must beat dictionary (%.3f)", r.Bench, r.CPRatio, r.DictRatio)
+		}
+		if r.DynamicInstrs == 0 || r.OriginalSize == 0 {
+			t.Errorf("%s: empty measurements", r.Bench)
+		}
+		if r.LZRW1Ratio <= 0 || r.LZRW1Ratio >= 1 {
+			t.Errorf("%s: lzrw1 ratio %.3f", r.Bench, r.LZRW1Ratio)
+		}
+	}
+	text := FormatTable2(rows)
+	if !strings.Contains(text, "pegwit") || !strings.Contains(text, "go") {
+		t.Fatal("format missing benchmarks")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := smallSuite()
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Bench] = r
+		if r.D < 1 || r.DRF < 1 || r.CP < 1 || r.CPRF < 1 {
+			t.Errorf("%s: slowdown below 1: %+v", r.Bench, r)
+		}
+		if r.DRF > r.D {
+			t.Errorf("%s: RF must not slow dictionary down (%.3f vs %.3f)", r.Bench, r.DRF, r.D)
+		}
+		if r.CPRF > r.CP {
+			t.Errorf("%s: RF must not slow CodePack down", r.Bench)
+		}
+		if r.CP < r.D {
+			t.Errorf("%s: CodePack (%.2f) should be slower than dictionary (%.2f)", r.Bench, r.CP, r.D)
+		}
+	}
+	// Loop-oriented pegwit must barely slow down; thrashy go must suffer.
+	if byName["pegwit"].D > 1.2 {
+		t.Errorf("pegwit D slowdown %.2f, want near 1", byName["pegwit"].D)
+	}
+	if byName["go"].D < 1.5 {
+		t.Errorf("go D slowdown %.2f, want well above 1", byName["go"].D)
+	}
+	_ = FormatTable3(rows)
+}
+
+func TestFigure4Shape(t *testing.T) {
+	s := smallSuite()
+	pts, err := s.Figure4(program.SchemeDict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*len(Fig4CacheSizes)*2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger caches must not increase the native miss ratio, and slowdown
+	// must shrink as miss ratio shrinks for a given benchmark/config.
+	get := func(bench string, kb int, rf bool) Fig4Point {
+		for _, p := range pts {
+			if p.Bench == bench && p.CacheKB == kb && p.ShadowRF == rf {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s %d %v", bench, kb, rf)
+		return Fig4Point{}
+	}
+	for _, bench := range []string{"pegwit", "go"} {
+		for _, rf := range []bool{false, true} {
+			p4, p16, p64 := get(bench, 4, rf), get(bench, 16, rf), get(bench, 64, rf)
+			if p4.MissRatio < p16.MissRatio || p16.MissRatio < p64.MissRatio {
+				t.Errorf("%s rf=%v: miss ratio not monotone: %v %v %v",
+					bench, rf, p4.MissRatio, p16.MissRatio, p64.MissRatio)
+			}
+			if p4.Slowdown < p64.Slowdown-0.05 {
+				t.Errorf("%s rf=%v: smaller cache should not be faster", bench, rf)
+			}
+		}
+	}
+	out := FormatFigure4("(a)", pts)
+	if !strings.Contains(out, "dict") {
+		t.Fatal("format missing series")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	s := smallSuite()
+	curves, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2*2*2 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) < 3 {
+			t.Fatalf("%s %s/%v: too few points", c.Bench, c.Scheme, c.Policy)
+		}
+		last := c.Points[len(c.Points)-1]
+		if last.Ratio != 1 || last.Slowdown != 1 {
+			t.Fatalf("%s: right endpoint must be native (1,1): %+v", c.Bench, last)
+		}
+		first := c.Points[0]
+		if first.Ratio >= 1 {
+			t.Fatalf("%s %s: leftmost point should be compressed: %+v", c.Bench, c.Scheme, first)
+		}
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Ratio < c.Points[i-1].Ratio {
+				t.Fatalf("%s: points not sorted by ratio", c.Bench)
+			}
+		}
+	}
+	out := FormatFigure5(curves)
+	if !strings.Contains(out, "CP/miss") || !strings.Contains(out, "D/exec") {
+		t.Fatal("format missing series labels")
+	}
+}
+
+func TestSuiteVerifiesChecksums(t *testing.T) {
+	// The suite must reject a benchmark whose compressed run diverges;
+	// exercise the happy path and confirm caching kicks in (the second
+	// Table3 call must not re-run simulations — observable as identical
+	// results from cached state).
+	s := smallSuite()
+	r1, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("cached rerun differs")
+		}
+	}
+}
+
+func TestMissBasedBeatsExecOnLoopBench(t *testing.T) {
+	// The paper's headline selective-compression result (§5.3): for
+	// loop-oriented programs, miss-based selection outperforms
+	// execution-based selection, because loops amortise decompression
+	// over many iterations while exec-based selection wastes native
+	// bytes on them.
+	s := NewSuite(0.3)
+	s.Only = []string{"pegwit"}
+	curves, err := s.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exec, miss *Fig5Curve
+	for i := range curves {
+		c := &curves[i]
+		if c.Scheme != program.SchemeDict {
+			continue
+		}
+		if c.Policy == selective.ByExecution {
+			exec = c
+		} else {
+			miss = c
+		}
+	}
+	if exec == nil || miss == nil {
+		t.Fatal("missing curves")
+	}
+	// Compare at matched thresholds: miss-based should achieve lower or
+	// equal slowdown at each intermediate threshold on this benchmark.
+	better := 0
+	for _, mp := range miss.Points {
+		if mp.Threshold == 0 || mp.Threshold == 1 {
+			continue
+		}
+		for _, ep := range exec.Points {
+			if ep.Threshold == mp.Threshold && mp.Slowdown <= ep.Slowdown+1e-9 {
+				better++
+			}
+		}
+	}
+	if better < 3 {
+		t.Fatalf("miss-based better at only %d thresholds", better)
+	}
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlacementStudy(t *testing.T) {
+	s := NewSuite(0.15)
+	s.Only = []string{"go"}
+	rows, err := s.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Preserve < 1 || r.Guided < 1 {
+			t.Fatalf("slowdowns below 1: %+v", r)
+		}
+		// Placement changes layout, not semantics; both are checked
+		// against the native checksum inside the suite. The ratio of the
+		// two must be sane (placement cannot 10x a program).
+		if r.Guided > 3*r.Preserve || r.Preserve > 3*r.Guided {
+			t.Fatalf("implausible placement delta: %+v", r)
+		}
+	}
+	out := FormatPlacement(rows)
+	if !strings.Contains(out, "preserve") || !strings.Contains(out, "guided") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestGranularityStudy(t *testing.T) {
+	s := NewSuite(0.15)
+	s.Only = []string{"go", "pegwit"}
+	rows, err := s.Granularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Line < 1 || r.Proc < 1 {
+			t.Fatalf("slowdowns below 1: %+v", r)
+		}
+		// Procedure granularity always takes fewer exceptions (a whole
+		// procedure is prefetched per miss) but executes far more handler
+		// instructions per exception.
+		if r.ProcExcs >= r.LineExcs {
+			t.Fatalf("%s: proc exceptions %d not below line %d", r.Bench, r.ProcExcs, r.LineExcs)
+		}
+		if r.ProcInstr < 200 {
+			t.Fatalf("%s: procedure handler suspiciously cheap: %.0f instrs/exc", r.Bench, r.ProcInstr)
+		}
+	}
+	out := FormatGranularity(rows)
+	if !strings.Contains(out, "slowdown spread") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	s := NewSuite(0.1)
+	s.Only = []string{"pegwit"}
+	out, err := s.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exception-entry", "swic", "memory first-access", "copy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHardwareVsSoftwareStudy(t *testing.T) {
+	s := NewSuite(0.15)
+	s.Only = []string{"go"}
+	rows, err := s.HardwareVsSoftware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if len(r.HW) != len(HWLatencies) {
+		t.Fatalf("hw points = %d", len(r.HW))
+	}
+	// Hardware decompression must beat software at every swept latency,
+	// and slow down monotonically with decode latency.
+	for i, v := range r.HW {
+		if v >= r.SoftD {
+			t.Errorf("hw latency %d (%.2f) should beat software D+RF (%.2f)",
+				HWLatencies[i], v, r.SoftD)
+		}
+		if i > 0 && v < r.HW[i-1] {
+			t.Errorf("hw slowdown must grow with latency: %v", r.HW)
+		}
+	}
+	out := FormatHardware(rows)
+	if !strings.Contains(out, "hw+5") {
+		t.Fatal("format incomplete")
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	s := NewSuite(0.15)
+	s.Only = []string{"pegwit"}
+	out, err := s.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 2", "Table 3", "pegwit", "worst |Δ|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare report missing %q:\n%s", want, out)
+		}
+	}
+}

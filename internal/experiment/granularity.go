@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+// GranularityRow compares decompression granularities on one benchmark:
+// the paper's cache-line dictionary decompressor against a
+// procedure-granularity decompressor using the *same* dictionary codec
+// (isolating granularity, the variable in the paper's §5.2 comparison
+// with Kirovski et al.'s procedure-based scheme).
+type GranularityRow struct {
+	Bench     string
+	Line      float64 // slowdown, line granularity (D+RF)
+	Proc      float64 // slowdown, procedure granularity (procdict+RF)
+	LineExcs  uint64
+	ProcExcs  uint64
+	ProcInstr float64 // handler instructions per exception, procedure scheme
+}
+
+// Granularity measures both schemes across the benchmark set at the
+// baseline 16KB I-cache.
+func (s *Suite) Granularity() ([]GranularityRow, error) {
+	var rows []GranularityRow
+	for _, p := range s.Benchmarks() {
+		st, err := s.state(p)
+		if err != nil {
+			return nil, err
+		}
+		nat, err := s.nativeRun(st, 16)
+		if err != nil {
+			return nil, err
+		}
+		line, _, err := s.compressedRun(st, core.Options{Scheme: program.SchemeDict, ShadowRF: true}, 16)
+		if err != nil {
+			return nil, err
+		}
+		proc, _, err := s.compressedRun(st, core.Options{Scheme: program.SchemeProcDict, ShadowRF: true}, 16)
+		if err != nil {
+			return nil, err
+		}
+		row := GranularityRow{
+			Bench:    p.Name,
+			Line:     slowdown(line, nat),
+			Proc:     slowdown(proc, nat),
+			LineExcs: line.stats.Exceptions,
+			ProcExcs: proc.stats.Exceptions,
+		}
+		if proc.stats.Exceptions > 0 {
+			row.ProcInstr = float64(proc.stats.HandlerInstrs) / float64(proc.stats.Exceptions)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatGranularity renders the comparison plus the variance summary the
+// paper emphasises ("much more stability in performance").
+func FormatGranularity(rows []GranularityRow) string {
+	var b strings.Builder
+	b.WriteString("Decompression granularity: cache line vs whole procedure (dictionary codec, 16KB)\n")
+	fmt.Fprintf(&b, "  %-12s %8s %8s %10s %10s %12s\n",
+		"benchmark", "line", "proc", "line excs", "proc excs", "instrs/exc")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %8.2f %8.2f %10d %10d %12.0f\n",
+			r.Bench, r.Line, r.Proc, r.LineExcs, r.ProcExcs, r.ProcInstr)
+	}
+	lv, pv := spread(rows, func(r GranularityRow) float64 { return r.Line }),
+		spread(rows, func(r GranularityRow) float64 { return r.Proc })
+	fmt.Fprintf(&b, "  slowdown spread (max/min): line %.2fx, procedure %.2fx\n", lv, pv)
+	return b.String()
+}
+
+func spread(rows []GranularityRow, f func(GranularityRow) float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		v := f(r)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == 0 || len(rows) == 0 {
+		return 0
+	}
+	return hi / lo
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+// HardwareRow compares software decompression against a modelled
+// hardware decompression unit — the custom-silicon approaches the paper
+// positions itself against (CCRP, IBM's CodePack hardware). The hardware
+// unit fills a missed line after a fixed decode latency with no
+// exception and no handler execution; its latency is swept to show where
+// software decompression becomes competitive.
+type HardwareRow struct {
+	Bench   string
+	SoftD   float64 // software dictionary (D+RF) slowdown
+	SoftCP  float64 // software CodePack (CP+RF) slowdown
+	HW      []float64
+	Latency []int
+}
+
+// HWLatencies are the hardware decode latencies swept (cycles per line).
+var HWLatencies = []int{5, 20, 60}
+
+// HardwareVsSoftware measures both approaches on every benchmark at the
+// baseline 16KB I-cache.
+func (s *Suite) HardwareVsSoftware() ([]HardwareRow, error) {
+	var rows []HardwareRow
+	for _, p := range s.Benchmarks() {
+		st, err := s.state(p)
+		if err != nil {
+			return nil, err
+		}
+		nat, err := s.nativeRun(st, 16)
+		if err != nil {
+			return nil, err
+		}
+		softD, _, err := s.compressedRun(st, core.Options{Scheme: program.SchemeDict, ShadowRF: true}, 16)
+		if err != nil {
+			return nil, err
+		}
+		softCP, _, err := s.compressedRun(st, core.Options{Scheme: program.SchemeCodePack, ShadowRF: true}, 16)
+		if err != nil {
+			return nil, err
+		}
+		row := HardwareRow{
+			Bench:   p.Name,
+			SoftD:   slowdown(softD, nat),
+			SoftCP:  slowdown(softCP, nat),
+			Latency: HWLatencies,
+		}
+		res, err := s.compressed(st, core.Options{Scheme: program.SchemeDict, ShadowRF: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, lat := range HWLatencies {
+			cfg := s.machine(16)
+			cfg.HardwareDecompress = true
+			cfg.HWDecompressCycles = lat
+			o, err := runConfigured(res.Image, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s hw lat=%d: %v", p.Name, lat, err)
+			}
+			if o.checksum != nat.checksum {
+				return nil, fmt.Errorf("%s hw lat=%d: checksum diverged", p.Name, lat)
+			}
+			row.HW = append(row.HW, slowdown(o, nat))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHardware renders the comparison.
+func FormatHardware(rows []HardwareRow) string {
+	var b strings.Builder
+	b.WriteString("Software vs hardware decompression (slowdown vs native, 16KB I-cache)\n")
+	fmt.Fprintf(&b, "  %-12s %8s %8s", "benchmark", "sw D+RF", "sw CP+RF")
+	for _, lat := range HWLatencies {
+		fmt.Fprintf(&b, " %7s", fmt.Sprintf("hw+%d", lat))
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %8.2f %8.2f", r.Bench, r.SoftD, r.SoftCP)
+		for _, v := range r.HW {
+			fmt.Fprintf(&b, " %7.2f", v)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  (hw+N: hardware line decompressor with N-cycle decode latency)\n")
+	return b.String()
+}

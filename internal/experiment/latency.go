@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/program"
+)
+
+// LatencyRow reports decompression-exception service latency for one
+// handler configuration: the embedded-systems determinism angle the
+// paper's context raises (software-managed caches for "fast,
+// deterministic memories", §3). A line-granularity handler has a tight,
+// bounded worst case; CodePack pays its serial decode; procedure
+// granularity is unbounded in the procedure size.
+type LatencyRow struct {
+	Scheme   program.Scheme
+	ShadowRF bool
+	Avg      float64 // mean cycles from exception entry to iret
+	Max      uint64  // worst observed case
+}
+
+// Latency measures exception service latency for every handler on one
+// benchmark (the suite's first, or "go" if present).
+func (s *Suite) Latency() ([]LatencyRow, error) {
+	_, st, err := s.namedState("go")
+	if err != nil {
+		return nil, err
+	}
+	var rows []LatencyRow
+	for _, opts := range []core.Options{
+		{Scheme: program.SchemeDict},
+		{Scheme: program.SchemeDict, ShadowRF: true},
+		{Scheme: program.SchemeCodePack},
+		{Scheme: program.SchemeCodePack, ShadowRF: true},
+		{Scheme: program.SchemeProcDict, ShadowRF: true},
+		{Scheme: core.SchemeCopy, ShadowRF: true},
+	} {
+		o, _, err := s.compressedRun(st, opts, 16)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LatencyRow{
+			Scheme:   opts.Scheme,
+			ShadowRF: opts.ShadowRF,
+			Avg:      o.stats.AvgExcCycles(),
+			Max:      o.stats.ExcCyclesMax,
+		})
+	}
+	return rows, nil
+}
+
+// FormatLatency renders the latency study.
+func FormatLatency(rows []LatencyRow) string {
+	var b strings.Builder
+	b.WriteString("Exception service latency (cycles from miss to iret, benchmark go, 16KB)\n")
+	fmt.Fprintf(&b, "  %-14s %10s %10s\n", "handler", "mean", "worst")
+	for _, r := range rows {
+		name := string(r.Scheme)
+		if r.ShadowRF {
+			name += "+RF"
+		}
+		fmt.Fprintf(&b, "  %-14s %10.1f %10d\n", name, r.Avg, r.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import "testing"
+
+// TestReproductionBands runs the full-length Table 2 and Table 3 and
+// asserts the measured values stay inside the calibration bands recorded
+// in EXPERIMENTS.md, guarding the reproduction against regressions in the
+// generator, the compressors, the handlers or the timing model.
+func TestReproductionBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-length reproduction check; skipped with -short")
+	}
+	s := NewSuite(1.0)
+
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 2 dictionary ratios ± 4 points; CodePack always below
+	// dictionary; 16KB miss ratios inside their calibrated bands.
+	dictWant := map[string]float64{
+		"cc1": 0.654, "ghostscript": 0.694, "go": 0.696, "ijpeg": 0.772,
+		"mpeg2enc": 0.823, "pegwit": 0.793, "perl": 0.737, "vortex": 0.658,
+	}
+	missBand := map[string][2]float64{
+		"cc1":         {0.020, 0.040},
+		"ghostscript": {0.0001, 0.002},
+		"go":          {0.013, 0.032},
+		"ijpeg":       {0.0001, 0.002},
+		"mpeg2enc":    {0.00005, 0.001},
+		"pegwit":      {0.0001, 0.002},
+		"perl":        {0.008, 0.025},
+		"vortex":      {0.015, 0.035},
+	}
+	for _, r := range t2 {
+		want := dictWant[r.Bench]
+		if r.DictRatio < want-0.04 || r.DictRatio > want+0.04 {
+			t.Errorf("%s: dict ratio %.3f outside %.3f±0.04", r.Bench, r.DictRatio, want)
+		}
+		if r.CPRatio >= r.DictRatio {
+			t.Errorf("%s: CodePack %.3f not below dictionary %.3f", r.Bench, r.CPRatio, r.DictRatio)
+		}
+		if r.CPRatio < 0.50 || r.CPRatio > 0.68 {
+			t.Errorf("%s: CodePack ratio %.3f outside the paper's band", r.Bench, r.CPRatio)
+		}
+		band := missBand[r.Bench]
+		if r.MissRatio16K < band[0] || r.MissRatio16K > band[1] {
+			t.Errorf("%s: 16KB miss ratio %.4f outside [%.4f,%.4f]",
+				r.Bench, r.MissRatio16K, band[0], band[1])
+		}
+	}
+
+	t3, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range t3 {
+		// Paper's headline bounds: dictionary no more than ~3x native
+		// (ours: allow 3.6), CodePack no more than 18x.
+		if r.D > 3.6 {
+			t.Errorf("%s: dictionary slowdown %.2f exceeds the paper's bound", r.Bench, r.D)
+		}
+		if r.CP > 18 {
+			t.Errorf("%s: CodePack slowdown %.2f exceeds the paper's bound", r.Bench, r.CP)
+		}
+		if !(r.DRF <= r.D && r.CPRF <= r.CP) {
+			t.Errorf("%s: shadow RF must not slow things down: %+v", r.Bench, r)
+		}
+		if r.CP < r.D {
+			t.Errorf("%s: CodePack must be slower than dictionary: %+v", r.Bench, r)
+		}
+		// RF benefit is large for the dictionary, small for CodePack
+		// (paper §5.2) — compare overhead reductions where overhead is
+		// measurable.
+		if r.D > 1.5 {
+			dGain := (r.D - r.DRF) / (r.D - 1)
+			cpGain := (r.CP - r.CPRF) / (r.CP - 1)
+			if dGain < 2*cpGain {
+				t.Errorf("%s: RF gain pattern wrong: dict %.2f vs cp %.2f", r.Bench, dGain, cpGain)
+			}
+		}
+	}
+
+	// Loop-oriented benchmarks stay near native under the dictionary.
+	for _, r := range t3 {
+		switch r.Bench {
+		case "ijpeg", "mpeg2enc", "pegwit":
+			if r.D > 1.2 {
+				t.Errorf("%s: loop-oriented benchmark slowed %.2fx under dictionary", r.Bench, r.D)
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§5): Table 2 (sizes and compression ratios), Table 3
+// (slowdowns), Figure 4 (miss ratio vs execution time across cache sizes)
+// and Figure 5 (selective-compression size/speed curves), plus Table 1
+// (the machine configuration) and the ablations described in DESIGN.md.
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+// Suite runs experiments over the benchmark set, caching built images,
+// native baselines and profiles so the tables and figures share work.
+type Suite struct {
+	// Scale multiplies every benchmark's dynamic length (1.0 = the
+	// calibrated full runs; tests use smaller values).
+	Scale float64
+	// Only restricts the suite to the named benchmarks (nil = all eight).
+	Only []string
+	// MaxInstr bounds each simulation; 0 uses a generous default.
+	MaxInstr uint64
+
+	states map[string]*benchState
+}
+
+type benchState struct {
+	profile synth.Profile
+	image   *program.Image
+
+	native   map[int]runOutcome // by I-cache KB
+	profiles map[int]*cpu.ProcProfile
+	results  map[string]*core.Result
+}
+
+type runOutcome struct {
+	stats    cpu.Stats
+	checksum string
+}
+
+// NewSuite returns a Suite with the given dynamic scale.
+func NewSuite(scale float64) *Suite {
+	return &Suite{Scale: scale, states: make(map[string]*benchState)}
+}
+
+// Benchmarks returns the profiles the suite operates on.
+func (s *Suite) Benchmarks() []synth.Profile {
+	all := synth.Benchmarks()
+	if len(s.Only) == 0 {
+		return all
+	}
+	var out []synth.Profile
+	for _, name := range s.Only {
+		for _, p := range all {
+			if p.Name == name {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func (s *Suite) state(p synth.Profile) (*benchState, error) {
+	if st, ok := s.states[p.Name]; ok {
+		return st, nil
+	}
+	scaled := p
+	if s.Scale > 0 && s.Scale != 1 {
+		scaled = p.Scale(s.Scale)
+	}
+	im, err := synth.Build(scaled)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: building %s: %v", p.Name, err)
+	}
+	st := &benchState{
+		profile:  scaled,
+		image:    im,
+		native:   make(map[int]runOutcome),
+		profiles: make(map[int]*cpu.ProcProfile),
+		results:  make(map[string]*core.Result),
+	}
+	s.states[p.Name] = st
+	return st, nil
+}
+
+func (s *Suite) machine(cacheKB int) cpu.Config {
+	cfg := cpu.DefaultConfig()
+	cfg.ICache.SizeBytes = cacheKB * 1024
+	cfg.MaxInstr = s.MaxInstr
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 2_000_000_000
+	}
+	return cfg
+}
+
+// runImage executes an image and returns its stats and checksum output.
+func (s *Suite) runImage(im *program.Image, cacheKB int, prof cpu.Profiler) (runOutcome, error) {
+	c, err := cpu.New(s.machine(cacheKB))
+	if err != nil {
+		return runOutcome{}, err
+	}
+	var out bytes.Buffer
+	c.Out = &out
+	c.Prof = prof
+	if err := c.Load(im); err != nil {
+		return runOutcome{}, err
+	}
+	code, err := c.Run()
+	if err != nil {
+		return runOutcome{}, err
+	}
+	if code != 0 {
+		return runOutcome{}, fmt.Errorf("experiment: exit code %d", code)
+	}
+	return runOutcome{stats: c.Stats, checksum: out.String()}, nil
+}
+
+// nativeRun returns (caching) the native baseline at the given cache size,
+// collecting the per-procedure profile as a side effect.
+func (s *Suite) nativeRun(st *benchState, cacheKB int) (runOutcome, error) {
+	if o, ok := st.native[cacheKB]; ok {
+		return o, nil
+	}
+	prof := cpu.NewProcProfile(st.image)
+	o, err := s.runImage(st.image, cacheKB, prof)
+	if err != nil {
+		return runOutcome{}, fmt.Errorf("%s native @%dKB: %v", st.profile.Name, cacheKB, err)
+	}
+	st.native[cacheKB] = o
+	st.profiles[cacheKB] = prof
+	return o, nil
+}
+
+// compressed returns (caching) the compressed image for the options.
+func (s *Suite) compressed(st *benchState, opts core.Options) (*core.Result, error) {
+	key := fmt.Sprintf("%s/%v/%d/%v", opts.Scheme, opts.ShadowRF, opts.IndexBits, sortedNames(opts.NativeProcs))
+	if r, ok := st.results[key]; ok {
+		return r, nil
+	}
+	r, err := core.Compress(st.image, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: %v", st.profile.Name, opts.Scheme, err)
+	}
+	st.results[key] = r
+	return r, nil
+}
+
+func sortedNames(m map[string]bool) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// compressedRun runs the compressed image and verifies its checksum
+// matches the native baseline: every experiment self-checks correctness.
+func (s *Suite) compressedRun(st *benchState, opts core.Options, cacheKB int) (runOutcome, *core.Result, error) {
+	res, err := s.compressed(st, opts)
+	if err != nil {
+		return runOutcome{}, nil, err
+	}
+	nat, err := s.nativeRun(st, cacheKB)
+	if err != nil {
+		return runOutcome{}, nil, err
+	}
+	o, err := s.runImage(res.Image, cacheKB, nil)
+	if err != nil {
+		return runOutcome{}, nil, fmt.Errorf("%s %s @%dKB: %v", st.profile.Name, opts.Scheme, cacheKB, err)
+	}
+	if o.checksum != nat.checksum {
+		return runOutcome{}, nil, fmt.Errorf("%s %s @%dKB: checksum %q, native %q",
+			st.profile.Name, opts.Scheme, cacheKB, o.checksum, nat.checksum)
+	}
+	return o, res, nil
+}
+
+// Slowdown computes compressed/native cycle ratio.
+func slowdown(comp, nat runOutcome) float64 {
+	return float64(comp.stats.Cycles) / float64(nat.stats.Cycles)
+}
+
+// missRatio is non-speculative I-misses per committed instruction, the
+// quantity the paper plots (its 1-wide in-order machine makes accesses
+// and instructions nearly identical).
+func missRatio(o runOutcome) float64 {
+	if o.stats.Instrs == 0 {
+		return 0
+	}
+	return float64(o.stats.IMisses()) / float64(o.stats.Instrs)
+}

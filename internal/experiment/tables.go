@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compress/lzrw1"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+// Table1 renders the simulated machine configuration (paper Table 1).
+func Table1() string {
+	cfg := cpu.DefaultConfig()
+	var b strings.Builder
+	b.WriteString("Table 1: Simulation parameters\n")
+	rows := [][2]string{
+		{"fetch/decode/issue/commit width", "1, in-order"},
+		{"branch pred", fmt.Sprintf("bimode %d entries (%d-cycle mispredict)",
+			cfg.PredictorEntries, cfg.MispredictPenalty)},
+		{"L1 I-cache", fmt.Sprintf("%dKB, %dB lines, %d-assoc, lru",
+			cfg.ICache.SizeBytes/1024, cfg.ICache.LineBytes, cfg.ICache.Ways)},
+		{"L1 D-cache", fmt.Sprintf("%dKB, %dB lines, %d-assoc, lru",
+			cfg.DCache.SizeBytes/1024, cfg.DCache.LineBytes, cfg.DCache.Ways)},
+		{"memory latency", fmt.Sprintf("%d cycle latency, %d cycle rate",
+			cfg.Bus.FirstCycles, cfg.Bus.NextCycles)},
+		{"memory width", fmt.Sprintf("%d bits", cfg.Bus.WidthBytes*8)},
+		{"exception entry / iret", fmt.Sprintf("%d / %d cycles", cfg.ExceptionEntry, cfg.IretCycles)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-32s %s\n", r[0], r[1])
+	}
+	return b.String()
+}
+
+// Table2Row is one line of the paper's Table 2.
+type Table2Row struct {
+	Bench         string
+	DynamicInstrs uint64
+	MissRatio16K  float64
+	OriginalSize  int
+	DictSize      int
+	CPSize        int
+	DictRatio     float64
+	CPRatio       float64
+	LZRW1Ratio    float64
+}
+
+// Table2 measures sizes, compression ratios and 16KB miss ratios.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, p := range s.Benchmarks() {
+		st, err := s.state(p)
+		if err != nil {
+			return nil, err
+		}
+		nat, err := s.nativeRun(st, 16)
+		if err != nil {
+			return nil, err
+		}
+		d, err := s.compressed(st, core.Options{Scheme: program.SchemeDict})
+		if err != nil {
+			return nil, err
+		}
+		cp, err := s.compressed(st, core.Options{Scheme: program.SchemeCodePack})
+		if err != nil {
+			return nil, err
+		}
+		text := st.image.Segment(program.SegText)
+		rows = append(rows, Table2Row{
+			Bench:         p.Name,
+			DynamicInstrs: nat.stats.Instrs,
+			MissRatio16K:  missRatio(nat),
+			OriginalSize:  len(text.Data),
+			DictSize:      d.StoredSize,
+			CPSize:        cp.StoredSize,
+			DictRatio:     d.Ratio(),
+			CPRatio:       cp.Ratio(),
+			LZRW1Ratio:    lzrw1.Ratio(text.Data),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: Compression ratio of .text section\n")
+	fmt.Fprintf(&b, "  %-12s %9s %8s %10s %10s %10s %6s %6s %6s\n",
+		"Benchmark", "Dyn insns", "Miss 16K", "Original", "Dict", "CodePack", "Dict%", "CP%", "LZRW1%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %9d %7.2f%% %10d %10d %10d %5.1f%% %5.1f%% %5.1f%%\n",
+			r.Bench, r.DynamicInstrs, r.MissRatio16K*100,
+			r.OriginalSize, r.DictSize, r.CPSize,
+			r.DictRatio*100, r.CPRatio*100, r.LZRW1Ratio*100)
+	}
+	return b.String()
+}
+
+// Table3Row is one line of the paper's Table 3: slowdown vs native code.
+type Table3Row struct {
+	Bench string
+	D     float64 // dictionary
+	DRF   float64 // dictionary + second register file
+	CP    float64 // CodePack
+	CPRF  float64 // CodePack + second register file
+}
+
+// Table3 measures the slowdowns of the four decompressor configurations
+// at the baseline 16KB I-cache.
+func (s *Suite) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, p := range s.Benchmarks() {
+		st, err := s.state(p)
+		if err != nil {
+			return nil, err
+		}
+		nat, err := s.nativeRun(st, 16)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Bench: p.Name}
+		for _, v := range []struct {
+			opts core.Options
+			dst  *float64
+		}{
+			{core.Options{Scheme: program.SchemeDict}, &row.D},
+			{core.Options{Scheme: program.SchemeDict, ShadowRF: true}, &row.DRF},
+			{core.Options{Scheme: program.SchemeCodePack}, &row.CP},
+			{core.Options{Scheme: program.SchemeCodePack, ShadowRF: true}, &row.CPRF},
+		} {
+			o, _, err := s.compressedRun(st, v.opts, 16)
+			if err != nil {
+				return nil, err
+			}
+			*v.dst = slowdown(o, nat)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders rows in the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: Slowdown compared to native code (16KB I-cache)\n")
+	fmt.Fprintf(&b, "  %-12s %6s %6s %6s %6s\n", "Benchmark", "D", "D+RF", "CP", "CP+RF")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %6.2f %6.2f %6.2f %6.2f\n", r.Bench, r.D, r.DRF, r.CP, r.CPRF)
+	}
+	return b.String()
+}

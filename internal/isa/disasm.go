@@ -1,0 +1,52 @@
+package isa
+
+import "fmt"
+
+// Disassemble renders w as assembly text. pc is used to resolve
+// PC-relative branch and jump targets, printed as absolute hex addresses.
+// Unrecognised encodings render as ".word 0x%08x".
+func Disassemble(pc uint32, w Word) string {
+	if w == NOP {
+		return "nop"
+	}
+	s := SpecOf(w)
+	if s == nil {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	switch s.Syntax {
+	case SynR3:
+		return fmt.Sprintf("%s %s, %s, %s", s.Name, RegName(Rd(w)), RegName(Rs(w)), RegName(Rt(w)))
+	case SynShift:
+		return fmt.Sprintf("%s %s, %s, %d", s.Name, RegName(Rd(w)), RegName(Rt(w)), Shamt(w))
+	case SynShiftV:
+		return fmt.Sprintf("%s %s, %s, %s", s.Name, RegName(Rd(w)), RegName(Rt(w)), RegName(Rs(w)))
+	case SynMulDiv:
+		return fmt.Sprintf("%s %s, %s", s.Name, RegName(Rs(w)), RegName(Rt(w)))
+	case SynMoveFrom:
+		return fmt.Sprintf("%s %s", s.Name, RegName(Rd(w)))
+	case SynJR:
+		return fmt.Sprintf("%s %s", s.Name, RegName(Rs(w)))
+	case SynJALR:
+		return fmt.Sprintf("%s %s, %s", s.Name, RegName(Rd(w)), RegName(Rs(w)))
+	case SynImm:
+		if s.Signed {
+			return fmt.Sprintf("%s %s, %s, %d", s.Name, RegName(Rt(w)), RegName(Rs(w)), SImm(w))
+		}
+		return fmt.Sprintf("%s %s, %s, 0x%x", s.Name, RegName(Rt(w)), RegName(Rs(w)), Imm(w))
+	case SynLUI:
+		return fmt.Sprintf("%s %s, 0x%x", s.Name, RegName(Rt(w)), Imm(w))
+	case SynBranch2:
+		return fmt.Sprintf("%s %s, %s, 0x%x", s.Name, RegName(Rs(w)), RegName(Rt(w)), BranchTarget(pc, w))
+	case SynBranch1:
+		return fmt.Sprintf("%s %s, 0x%x", s.Name, RegName(Rs(w)), BranchTarget(pc, w))
+	case SynJump:
+		return fmt.Sprintf("%s 0x%x", s.Name, JumpTarget(pc, w))
+	case SynMem:
+		return fmt.Sprintf("%s %s, %d(%s)", s.Name, RegName(Rt(w)), SImm(w), RegName(Rs(w)))
+	case SynCop:
+		return fmt.Sprintf("%s %s, $%s", s.Name, RegName(Rt(w)), C0Name(Rd(w)))
+	case SynNone:
+		return s.Name
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}

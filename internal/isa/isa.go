@@ -1,0 +1,408 @@
+// Package isa defines CLR32, the 32-bit MIPS-like instruction set used by
+// the run-time decompression simulator.
+//
+// CLR32 stands in for the paper's "re-encoded SimpleScalar" ISA: 32-bit
+// fixed-width instructions, 32 general-purpose registers, no branch delay
+// slots. It adds the three instructions the paper introduces for software
+// decompression: swic (store word into the instruction cache), iret
+// (return from exception) and mfc0/mtc0 (system register access).
+package isa
+
+import "fmt"
+
+// Word is one 32-bit CLR32 instruction or data word.
+type Word = uint32
+
+// InstrBytes is the size of one instruction in bytes.
+const InstrBytes = 4
+
+// Register numbers follow the MIPS ABI convention.
+const (
+	RegZero = 0 // hardwired zero
+	RegAT   = 1 // assembler temporary
+	RegV0   = 2 // results / syscall number
+	RegV1   = 3
+	RegA0   = 4 // arguments
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+	RegT0   = 8 // caller-saved temporaries
+	RegT1   = 9
+	RegT2   = 10
+	RegT3   = 11
+	RegT4   = 12
+	RegT5   = 13
+	RegT6   = 14
+	RegT7   = 15
+	RegS0   = 16 // callee-saved
+	RegS1   = 17
+	RegS2   = 18
+	RegS3   = 19
+	RegS4   = 20
+	RegS5   = 21
+	RegS6   = 22
+	RegS7   = 23
+	RegT8   = 24
+	RegT9   = 25
+	RegK0   = 26 // reserved for OS/decompressor
+	RegK1   = 27
+	RegGP   = 28
+	RegSP   = 29
+	RegFP   = 30
+	RegRA   = 31
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 32
+
+// RegName returns the canonical ABI name of register r ("$zero", "$t0"...).
+func RegName(r int) string {
+	if r < 0 || r >= NumRegs {
+		return fmt.Sprintf("$?%d", r)
+	}
+	return regNames[r]
+}
+
+var regNames = [NumRegs]string{
+	"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+	"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+	"$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+}
+
+// System (coprocessor-0) registers. The decompression handlers read the
+// compressed-program geometry from C0DBase..C0LAT and the faulting address
+// from C0BadVA, exactly as in Figure 2 of the paper.
+const (
+	C0DBase   = 0 // base of the decompressed (virtual) code region
+	C0Dict    = 1 // base of the .dictionary segment
+	C0Indices = 2 // base of the .indices segment
+	C0LAT     = 3 // base of the CodePack line-address (mapping) table
+	C0EPC     = 4 // exception program counter
+	C0BadVA   = 5 // faulting virtual address
+	C0Status  = 6 // status bits (StatusXXX below)
+	C0Cause   = 7 // exception cause
+	NumC0Regs = 8
+)
+
+// C0Name returns the symbolic name of system register n.
+func C0Name(n int) string {
+	names := [NumC0Regs]string{
+		"dbase", "dict", "indices", "lat", "epc", "badva", "status", "cause"}
+	if n < 0 || n >= NumC0Regs {
+		return fmt.Sprintf("c?%d", n)
+	}
+	return "c0_" + names[n]
+}
+
+// Status register bits.
+const (
+	StatusEXL      = 1 << 0 // exception level (set while in the handler)
+	StatusShadowRF = 1 << 1 // second register file enabled for exceptions
+)
+
+// Cause codes.
+const (
+	CauseDecompressMiss = 1 // I-cache miss in the compressed region
+)
+
+// Primary opcode field values (bits 31..26).
+const (
+	OpSpecial = 0x00 // R-type, selected by Funct field
+	OpRegImm  = 0x01 // bltz/bgez, selected by rt field
+	OpJ       = 0x02
+	OpJAL     = 0x03
+	OpBEQ     = 0x04
+	OpBNE     = 0x05
+	OpBLEZ    = 0x06
+	OpBGTZ    = 0x07
+	OpADDI    = 0x08
+	OpADDIU   = 0x09
+	OpSLTI    = 0x0A
+	OpSLTIU   = 0x0B
+	OpANDI    = 0x0C
+	OpORI     = 0x0D
+	OpXORI    = 0x0E
+	OpLUI     = 0x0F
+	OpCOP0    = 0x10 // mfc0/mtc0/iret
+	OpLB      = 0x20
+	OpLH      = 0x21
+	OpLW      = 0x23
+	OpLBU     = 0x24
+	OpLHU     = 0x25
+	OpSB      = 0x28
+	OpSH      = 0x29
+	OpSW      = 0x2B
+	OpSWIC    = 0x3B // store word into instruction cache (paper §4)
+)
+
+// Funct field values for OpSpecial (bits 5..0).
+const (
+	FnSLL     = 0x00
+	FnSRL     = 0x02
+	FnSRA     = 0x03
+	FnSLLV    = 0x04
+	FnSRLV    = 0x06
+	FnSRAV    = 0x07
+	FnJR      = 0x08
+	FnJALR    = 0x09
+	FnSYSCALL = 0x0C
+	FnBREAK   = 0x0D
+	FnMFHI    = 0x10
+	FnMFLO    = 0x12
+	FnMULT    = 0x18
+	FnMULTU   = 0x19
+	FnDIV     = 0x1A
+	FnDIVU    = 0x1B
+	FnADD     = 0x20
+	FnADDU    = 0x21
+	FnSUB     = 0x22
+	FnSUBU    = 0x23
+	FnAND     = 0x24
+	FnOR      = 0x25
+	FnXOR     = 0x26
+	FnNOR     = 0x27
+	FnSLT     = 0x2A
+	FnSLTU    = 0x2B
+)
+
+// rt field values for OpRegImm.
+const (
+	RtBLTZ = 0x00
+	RtBGEZ = 0x01
+)
+
+// rs field values for OpCOP0.
+const (
+	CopMFC0 = 0x00
+	CopMTC0 = 0x04
+	CopCO   = 0x10 // funct-selected; FnIRET
+)
+
+// FnIRET is the funct value for iret under OpCOP0/CopCO.
+const FnIRET = 0x18
+
+// Syscall numbers (SPIM-like), passed in $v0.
+const (
+	SysPrintInt    = 1
+	SysPrintString = 4
+	SysExit        = 10
+	SysPrintChar   = 11
+	SysPrintHex    = 34
+)
+
+// Field extraction helpers.
+
+// Op returns the primary opcode (bits 31..26).
+func Op(w Word) uint32 { return w >> 26 }
+
+// Rs returns the rs field (bits 25..21).
+func Rs(w Word) int { return int(w >> 21 & 0x1F) }
+
+// Rt returns the rt field (bits 20..16).
+func Rt(w Word) int { return int(w >> 16 & 0x1F) }
+
+// Rd returns the rd field (bits 15..11).
+func Rd(w Word) int { return int(w >> 11 & 0x1F) }
+
+// Shamt returns the shift-amount field (bits 10..6).
+func Shamt(w Word) uint32 { return w >> 6 & 0x1F }
+
+// Funct returns the function field (bits 5..0).
+func Funct(w Word) uint32 { return w & 0x3F }
+
+// Imm returns the immediate field zero-extended.
+func Imm(w Word) uint32 { return w & 0xFFFF }
+
+// SImm returns the immediate field sign-extended to 32 bits.
+func SImm(w Word) int32 { return int32(int16(w & 0xFFFF)) }
+
+// Target returns the 26-bit jump target field.
+func Target(w Word) uint32 { return w & 0x03FFFFFF }
+
+// Encoding constructors.
+
+// EncodeR builds an R-type instruction under OpSpecial.
+func EncodeR(funct uint32, rs, rt, rd int, shamt uint32) Word {
+	return OpSpecial<<26 | uint32(rs&0x1F)<<21 | uint32(rt&0x1F)<<16 |
+		uint32(rd&0x1F)<<11 | (shamt&0x1F)<<6 | funct&0x3F
+}
+
+// EncodeI builds an I-type instruction.
+func EncodeI(op uint32, rs, rt int, imm uint32) Word {
+	return op<<26 | uint32(rs&0x1F)<<21 | uint32(rt&0x1F)<<16 | imm&0xFFFF
+}
+
+// EncodeJ builds a J-type instruction; target is a word index (addr>>2).
+func EncodeJ(op uint32, target uint32) Word {
+	return op<<26 | target&0x03FFFFFF
+}
+
+// JumpTarget computes the absolute address of a j/jal at pc.
+func JumpTarget(pc uint32, w Word) uint32 {
+	return (pc+4)&0xF0000000 | Target(w)<<2
+}
+
+// BranchTarget computes the absolute target of a conditional branch at pc.
+func BranchTarget(pc uint32, w Word) uint32 {
+	return pc + 4 + uint32(SImm(w))<<2
+}
+
+// EncodeBranchOff encodes the signed word offset for a branch at pc to
+// target. It reports an error when the target is out of the ±2^17-byte
+// reach of the 16-bit offset field.
+func EncodeBranchOff(pc, target uint32) (uint32, error) {
+	diff := int64(target) - int64(pc) - 4
+	if diff&3 != 0 {
+		return 0, fmt.Errorf("isa: branch target %#x not word aligned", target)
+	}
+	off := diff >> 2
+	if off < -(1<<15) || off >= 1<<15 {
+		return 0, fmt.Errorf("isa: branch from %#x to %#x out of range", pc, target)
+	}
+	return uint32(off) & 0xFFFF, nil
+}
+
+// EncodeJumpTarget encodes the 26-bit target field for a jump at pc to
+// target, verifying both lie in the same 256MB region.
+func EncodeJumpTarget(pc, target uint32) (uint32, error) {
+	if target&3 != 0 {
+		return 0, fmt.Errorf("isa: jump target %#x not word aligned", target)
+	}
+	if (pc+4)&0xF0000000 != target&0xF0000000 {
+		return 0, fmt.Errorf("isa: jump from %#x to %#x crosses 256MB region", pc, target)
+	}
+	return target >> 2 & 0x03FFFFFF, nil
+}
+
+// NOP is the canonical no-operation encoding (sll $zero,$zero,0).
+const NOP Word = 0
+
+// Kind classifies an instruction for the simulator and tools.
+type Kind int
+
+// Instruction kinds.
+const (
+	KindALU     Kind = iota // register/immediate arithmetic & logic
+	KindLoad                // lb/lh/lw/lbu/lhu
+	KindStore               // sb/sh/sw
+	KindBranch              // conditional branches
+	KindJump                // j/jal
+	KindJumpReg             // jr/jalr
+	KindSyscall             // syscall/break
+	KindCop0                // mfc0/mtc0
+	KindIret                // iret
+	KindSwic                // swic
+	KindIllegal             // unrecognised encoding
+)
+
+// Classify returns the Kind of w.
+func Classify(w Word) Kind {
+	switch Op(w) {
+	case OpSpecial:
+		switch Funct(w) {
+		case FnJR, FnJALR:
+			return KindJumpReg
+		case FnSYSCALL, FnBREAK:
+			return KindSyscall
+		case FnSLL, FnSRL, FnSRA, FnSLLV, FnSRLV, FnSRAV,
+			FnMFHI, FnMFLO, FnMULT, FnMULTU, FnDIV, FnDIVU,
+			FnADD, FnADDU, FnSUB, FnSUBU, FnAND, FnOR, FnXOR, FnNOR,
+			FnSLT, FnSLTU:
+			return KindALU
+		default:
+			return KindIllegal
+		}
+	case OpRegImm:
+		switch Rt(w) {
+		case RtBLTZ, RtBGEZ:
+			return KindBranch
+		default:
+			return KindIllegal
+		}
+	case OpJ, OpJAL:
+		return KindJump
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ:
+		return KindBranch
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI:
+		return KindALU
+	case OpCOP0:
+		switch Rs(w) {
+		case CopMFC0, CopMTC0:
+			return KindCop0
+		case CopCO:
+			if Funct(w) == FnIRET {
+				return KindIret
+			}
+			return KindIllegal
+		default:
+			return KindIllegal
+		}
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return KindLoad
+	case OpSB, OpSH, OpSW:
+		return KindStore
+	case OpSWIC:
+		return KindSwic
+	default:
+		return KindIllegal
+	}
+}
+
+// SrcRegs returns the general-purpose registers w reads (-1 for unused
+// slots). The timing model uses it to detect load-use hazards.
+func SrcRegs(w Word) (int, int) {
+	switch Op(w) {
+	case OpSpecial:
+		switch Funct(w) {
+		case FnSLL, FnSRL, FnSRA:
+			return Rt(w), -1
+		case FnJR, FnJALR:
+			return Rs(w), -1
+		case FnSYSCALL:
+			return RegV0, RegA0
+		case FnBREAK, FnMFHI, FnMFLO:
+			return -1, -1
+		default:
+			return Rs(w), Rt(w)
+		}
+	case OpRegImm, OpBLEZ, OpBGTZ:
+		return Rs(w), -1
+	case OpJ, OpJAL, OpLUI:
+		return -1, -1
+	case OpBEQ, OpBNE:
+		return Rs(w), Rt(w)
+	case OpCOP0:
+		if Rs(w) == CopMTC0 {
+			return Rt(w), -1
+		}
+		return -1, -1
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return Rs(w), -1
+	case OpSB, OpSH, OpSW, OpSWIC:
+		return Rs(w), Rt(w)
+	default:
+		return Rs(w), -1
+	}
+}
+
+// LoadDest returns the register a load instruction writes, or -1 when w
+// is not a load.
+func LoadDest(w Word) int {
+	switch Op(w) {
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		if rt := Rt(w); rt != RegZero {
+			return rt
+		}
+	}
+	return -1
+}
+
+// IsControl reports whether w can redirect the PC.
+func IsControl(w Word) bool {
+	switch Classify(w) {
+	case KindBranch, KindJump, KindJumpReg, KindIret:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldExtraction(t *testing.T) {
+	// add $t0, $t1, $t2 -> rd=8 rs=9 rt=10
+	w := EncodeR(FnADD, RegT1, RegT2, RegT0, 0)
+	if Op(w) != OpSpecial {
+		t.Fatalf("Op = %#x, want OpSpecial", Op(w))
+	}
+	if Rs(w) != RegT1 || Rt(w) != RegT2 || Rd(w) != RegT0 {
+		t.Fatalf("fields = rs=%d rt=%d rd=%d", Rs(w), Rt(w), Rd(w))
+	}
+	if Funct(w) != FnADD {
+		t.Fatalf("Funct = %#x, want FnADD", Funct(w))
+	}
+}
+
+func TestEncodeIImmediates(t *testing.T) {
+	neg16 := int32(-16)
+	w := EncodeI(OpADDI, RegSP, RegSP, uint32(neg16)&0xFFFF)
+	if got := SImm(w); got != -16 {
+		t.Fatalf("SImm = %d, want -16", got)
+	}
+	if got := Imm(w); got != 0xFFF0 {
+		t.Fatalf("Imm = %#x, want 0xfff0", got)
+	}
+}
+
+func TestBranchTargetRoundTrip(t *testing.T) {
+	pcs := []uint32{0x400000, 0x400100, 0x7FFC}
+	offs := []int64{-32768 * 4, -4, 0, 4, 128, 32767 * 4}
+	for _, pc := range pcs {
+		for _, d := range offs {
+			if int64(pc)+4+d < 0 {
+				continue // would wrap below address zero
+			}
+			target := uint32(int64(pc) + 4 + d)
+			enc, err := EncodeBranchOff(pc, target)
+			if err != nil {
+				t.Fatalf("EncodeBranchOff(%#x,%#x): %v", pc, target, err)
+			}
+			w := EncodeI(OpBEQ, 0, 0, enc)
+			if got := BranchTarget(pc, w); got != target {
+				t.Fatalf("BranchTarget = %#x, want %#x", got, target)
+			}
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	if _, err := EncodeBranchOff(0x400000, 0x500000); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := EncodeBranchOff(0x400000, 0x400002); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}
+
+func TestJumpTargetRoundTrip(t *testing.T) {
+	pc := uint32(0x400010)
+	target := uint32(0x7F0000)
+	enc, err := EncodeJumpTarget(pc, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := EncodeJ(OpJ, enc)
+	if got := JumpTarget(pc, w); got != target {
+		t.Fatalf("JumpTarget = %#x, want %#x", got, target)
+	}
+	if _, err := EncodeJumpTarget(0x00000000, 0x10000000); err == nil {
+		t.Fatal("expected cross-region error")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		w    Word
+		want Kind
+	}{
+		{EncodeR(FnADDU, 1, 2, 3, 0), KindALU},
+		{EncodeR(FnJR, RegRA, 0, 0, 0), KindJumpReg},
+		{EncodeR(FnSYSCALL, 0, 0, 0, 0), KindSyscall},
+		{EncodeI(OpLW, RegSP, RegT0, 4), KindLoad},
+		{EncodeI(OpSW, RegSP, RegT0, 4), KindStore},
+		{EncodeI(OpBEQ, 1, 2, 8), KindBranch},
+		{EncodeI(OpRegImm, 5, RtBGEZ, 8), KindBranch},
+		{EncodeJ(OpJAL, 0x100), KindJump},
+		{EncodeI(OpSWIC, RegK1, RegK0, 0), KindSwic},
+		{EncodeI(OpCOP0, CopMFC0<<5|0, RegK1, uint32(C0BadVA)<<11), KindCop0},
+		{EncodeR(0x3F, 0, 0, 0, 0), KindIllegal},
+		{0xFC000000, KindIllegal},
+	}
+	for i, c := range cases {
+		if got := Classify(c.w); got != c.want {
+			t.Errorf("case %d: Classify(%#x) = %v, want %v", i, c.w, got, c.want)
+		}
+	}
+}
+
+func TestMFC0Encoding(t *testing.T) {
+	// mfc0 $k1, $c0_badva: op COP0, rs=CopMFC0, rt=k1, rd=BadVA
+	w := EncodeI(OpCOP0, CopMFC0, RegK1, uint32(C0BadVA)<<11)
+	if Rs(w) != CopMFC0 || Rt(w) != RegK1 || Rd(w) != C0BadVA {
+		t.Fatalf("bad mfc0 encoding %#x (rs=%d rt=%d rd=%d)", w, Rs(w), Rt(w), Rd(w))
+	}
+	if Classify(w) != KindCop0 {
+		t.Fatalf("Classify = %v", Classify(w))
+	}
+}
+
+func TestIretEncoding(t *testing.T) {
+	w := EncodeI(OpCOP0, CopCO, 0, FnIRET)
+	if Classify(w) != KindIret {
+		t.Fatalf("Classify(iret) = %v", Classify(w))
+	}
+	if !IsControl(w) {
+		t.Fatal("iret must be control flow")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(RegZero) != "$zero" || RegName(RegSP) != "$sp" || RegName(RegRA) != "$ra" {
+		t.Fatal("unexpected register names")
+	}
+	if !strings.HasPrefix(RegName(40), "$?") {
+		t.Fatal("out-of-range register name should be marked")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < NumRegs; i++ {
+		n := RegName(i)
+		if seen[n] {
+			t.Fatalf("duplicate register name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSpecOfMatchesEveryMnemonic(t *testing.T) {
+	for i := range Specs {
+		s := &Specs[i]
+		var w Word
+		switch s.Op {
+		case OpSpecial:
+			w = EncodeR(s.Funct, 1, 2, 3, 4)
+		case OpRegImm:
+			w = EncodeI(OpRegImm, 5, s.Rt, 16)
+		case OpCOP0:
+			if s.Rs == CopCO {
+				w = EncodeI(OpCOP0, CopCO, 0, s.Funct)
+			} else {
+				w = EncodeI(OpCOP0, s.Rs, 6, uint32(C0EPC)<<11)
+			}
+		default:
+			w = EncodeI(s.Op, 7, 8, 12)
+		}
+		got := SpecOf(w)
+		if got == nil || got.Name != s.Name {
+			name := "<nil>"
+			if got != nil {
+				name = got.Name
+			}
+			t.Errorf("SpecOf round-trip for %q got %q", s.Name, name)
+		}
+	}
+}
+
+// Property: every recognised instruction classifies to a non-illegal kind,
+// and every instruction SpecOf recognises disassembles without .word.
+func TestQuickSpecConsistency(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := SpecOf(raw)
+		k := Classify(raw)
+		if s == nil {
+			return true // unrecognised word; Classify may still say illegal
+		}
+		if raw != NOP && k == KindIllegal {
+			return false
+		}
+		text := Disassemble(0x400000, raw)
+		return !strings.HasPrefix(text, ".word")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleSamples(t *testing.T) {
+	cases := []struct {
+		w    Word
+		want string
+	}{
+		{EncodeR(FnADDU, RegT1, RegT2, RegT0, 0), "addu $t0, $t1, $t2"},
+		{EncodeR(FnSLL, 0, RegK0, RegK1, 5), "sll $k1, $k0, 5"},
+		{EncodeI(OpLW, RegSP, RegT0, uint32(0x10000-8)&0xFFFF), "lw $t0, -8($sp)"},
+		{EncodeI(OpSWIC, RegK1, RegK0, 0), "swic $k0, 0($k1)"},
+		{EncodeI(OpCOP0, CopMFC0, RegK1, uint32(C0BadVA)<<11), "mfc0 $k1, $c0_badva"},
+		{EncodeI(OpCOP0, CopCO, 0, FnIRET), "iret"},
+		{NOP, "nop"},
+		{EncodeI(OpLUI, 0, RegT0, 0x1234), "lui $t0, 0x1234"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(0x400000, c.w); got != c.want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", c.w, got, c.want)
+		}
+	}
+}
+
+func TestDisassembleBranchTargets(t *testing.T) {
+	pc := uint32(0x400100)
+	off, err := EncodeBranchOff(pc, 0x400080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := EncodeI(OpBNE, RegT0, RegT1, off)
+	if got := Disassemble(pc, w); got != "bne $t0, $t1, 0x400080" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestJumpTargetAllOffsets(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		pc := uint32(r.Intn(1<<26) * 4)
+		target := uint32(r.Intn(1<<26)) * 4 & 0x0FFFFFFC
+		pc &= 0x0FFFFFFC
+		enc, err := EncodeJumpTarget(pc, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := JumpTarget(pc, EncodeJ(OpJ, enc)); got != target {
+			t.Fatalf("pc=%#x target=%#x got=%#x", pc, target, got)
+		}
+	}
+}

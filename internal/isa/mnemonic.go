@@ -1,0 +1,141 @@
+package isa
+
+// Syntax describes how a mnemonic's operands are written in assembly.
+// It drives both the assembler's parser and the disassembler's printer so
+// the two can never disagree.
+type Syntax int
+
+// Operand syntaxes.
+const (
+	SynR3       Syntax = iota // op rd, rs, rt
+	SynShift                  // op rd, rt, shamt
+	SynShiftV                 // op rd, rt, rs
+	SynMulDiv                 // op rs, rt
+	SynMoveFrom               // op rd
+	SynJR                     // op rs
+	SynJALR                   // op rd, rs
+	SynImm                    // op rt, rs, imm
+	SynLUI                    // op rt, imm
+	SynBranch2                // op rs, rt, label
+	SynBranch1                // op rs, label
+	SynJump                   // op label
+	SynMem                    // op rt, off(rs)
+	SynCop                    // op rt, $cN
+	SynNone                   // op
+)
+
+// Spec describes one machine mnemonic.
+type Spec struct {
+	Name   string
+	Syntax Syntax
+	Op     uint32 // primary opcode
+	Funct  uint32 // funct field for OpSpecial / OpCOP0+CopCO
+	Rt     int    // rt selector for OpRegImm
+	Rs     int    // rs selector for OpCOP0
+	Signed bool   // immediate is signed (for range checks / printing)
+}
+
+// Specs lists every CLR32 machine instruction. Order groups by function;
+// the assembler indexes it by name via SpecByName.
+var Specs = []Spec{
+	{Name: "sll", Syntax: SynShift, Op: OpSpecial, Funct: FnSLL},
+	{Name: "srl", Syntax: SynShift, Op: OpSpecial, Funct: FnSRL},
+	{Name: "sra", Syntax: SynShift, Op: OpSpecial, Funct: FnSRA},
+	{Name: "sllv", Syntax: SynShiftV, Op: OpSpecial, Funct: FnSLLV},
+	{Name: "srlv", Syntax: SynShiftV, Op: OpSpecial, Funct: FnSRLV},
+	{Name: "srav", Syntax: SynShiftV, Op: OpSpecial, Funct: FnSRAV},
+	{Name: "jr", Syntax: SynJR, Op: OpSpecial, Funct: FnJR},
+	{Name: "jalr", Syntax: SynJALR, Op: OpSpecial, Funct: FnJALR},
+	{Name: "syscall", Syntax: SynNone, Op: OpSpecial, Funct: FnSYSCALL},
+	{Name: "break", Syntax: SynNone, Op: OpSpecial, Funct: FnBREAK},
+	{Name: "mfhi", Syntax: SynMoveFrom, Op: OpSpecial, Funct: FnMFHI},
+	{Name: "mflo", Syntax: SynMoveFrom, Op: OpSpecial, Funct: FnMFLO},
+	{Name: "mult", Syntax: SynMulDiv, Op: OpSpecial, Funct: FnMULT},
+	{Name: "multu", Syntax: SynMulDiv, Op: OpSpecial, Funct: FnMULTU},
+	{Name: "div", Syntax: SynMulDiv, Op: OpSpecial, Funct: FnDIV},
+	{Name: "divu", Syntax: SynMulDiv, Op: OpSpecial, Funct: FnDIVU},
+	{Name: "add", Syntax: SynR3, Op: OpSpecial, Funct: FnADD},
+	{Name: "addu", Syntax: SynR3, Op: OpSpecial, Funct: FnADDU},
+	{Name: "sub", Syntax: SynR3, Op: OpSpecial, Funct: FnSUB},
+	{Name: "subu", Syntax: SynR3, Op: OpSpecial, Funct: FnSUBU},
+	{Name: "and", Syntax: SynR3, Op: OpSpecial, Funct: FnAND},
+	{Name: "or", Syntax: SynR3, Op: OpSpecial, Funct: FnOR},
+	{Name: "xor", Syntax: SynR3, Op: OpSpecial, Funct: FnXOR},
+	{Name: "nor", Syntax: SynR3, Op: OpSpecial, Funct: FnNOR},
+	{Name: "slt", Syntax: SynR3, Op: OpSpecial, Funct: FnSLT},
+	{Name: "sltu", Syntax: SynR3, Op: OpSpecial, Funct: FnSLTU},
+
+	{Name: "bltz", Syntax: SynBranch1, Op: OpRegImm, Rt: RtBLTZ},
+	{Name: "bgez", Syntax: SynBranch1, Op: OpRegImm, Rt: RtBGEZ},
+
+	{Name: "j", Syntax: SynJump, Op: OpJ},
+	{Name: "jal", Syntax: SynJump, Op: OpJAL},
+	{Name: "beq", Syntax: SynBranch2, Op: OpBEQ},
+	{Name: "bne", Syntax: SynBranch2, Op: OpBNE},
+	{Name: "blez", Syntax: SynBranch1, Op: OpBLEZ},
+	{Name: "bgtz", Syntax: SynBranch1, Op: OpBGTZ},
+
+	{Name: "addi", Syntax: SynImm, Op: OpADDI, Signed: true},
+	{Name: "addiu", Syntax: SynImm, Op: OpADDIU, Signed: true},
+	{Name: "slti", Syntax: SynImm, Op: OpSLTI, Signed: true},
+	{Name: "sltiu", Syntax: SynImm, Op: OpSLTIU, Signed: true},
+	{Name: "andi", Syntax: SynImm, Op: OpANDI},
+	{Name: "ori", Syntax: SynImm, Op: OpORI},
+	{Name: "xori", Syntax: SynImm, Op: OpXORI},
+	{Name: "lui", Syntax: SynLUI, Op: OpLUI},
+
+	{Name: "mfc0", Syntax: SynCop, Op: OpCOP0, Rs: CopMFC0},
+	{Name: "mtc0", Syntax: SynCop, Op: OpCOP0, Rs: CopMTC0},
+	{Name: "iret", Syntax: SynNone, Op: OpCOP0, Rs: CopCO, Funct: FnIRET},
+
+	{Name: "lb", Syntax: SynMem, Op: OpLB, Signed: true},
+	{Name: "lh", Syntax: SynMem, Op: OpLH, Signed: true},
+	{Name: "lw", Syntax: SynMem, Op: OpLW, Signed: true},
+	{Name: "lbu", Syntax: SynMem, Op: OpLBU, Signed: true},
+	{Name: "lhu", Syntax: SynMem, Op: OpLHU, Signed: true},
+	{Name: "sb", Syntax: SynMem, Op: OpSB, Signed: true},
+	{Name: "sh", Syntax: SynMem, Op: OpSH, Signed: true},
+	{Name: "sw", Syntax: SynMem, Op: OpSW, Signed: true},
+	{Name: "swic", Syntax: SynMem, Op: OpSWIC, Signed: true},
+}
+
+// SpecByName maps mnemonic to its Spec.
+var SpecByName = func() map[string]*Spec {
+	m := make(map[string]*Spec, len(Specs))
+	for i := range Specs {
+		m[Specs[i].Name] = &Specs[i]
+	}
+	return m
+}()
+
+// SpecOf returns the Spec matching an encoded word, or nil for an
+// unrecognised encoding.
+func SpecOf(w Word) *Spec {
+	for i := range Specs {
+		s := &Specs[i]
+		if s.Op != Op(w) {
+			continue
+		}
+		switch s.Op {
+		case OpSpecial:
+			if s.Funct == Funct(w) {
+				return s
+			}
+		case OpRegImm:
+			if s.Rt == Rt(w) {
+				return s
+			}
+		case OpCOP0:
+			if s.Rs != Rs(w) {
+				continue
+			}
+			if s.Rs == CopCO && s.Funct != Funct(w) {
+				continue
+			}
+			return s
+		default:
+			return s
+		}
+	}
+	return nil
+}

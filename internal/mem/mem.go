@@ -1,0 +1,160 @@
+// Package mem models the simulator's main memory: a sparse 32-bit
+// physical address space with the burst-bus timing of the paper's Table 1
+// (64-bit bus, 10-cycle first access, 2-cycle successive accesses).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// BusConfig is the main-memory timing model.
+type BusConfig struct {
+	FirstCycles int // latency of the first 8-byte beat
+	NextCycles  int // latency of each successive beat in a burst
+	WidthBytes  int // bus width (8 = 64 bits)
+}
+
+// DefaultBus matches the paper: 10-cycle latency, 2-cycle rate, 64 bits.
+func DefaultBus() BusConfig {
+	return BusConfig{FirstCycles: 10, NextCycles: 2, WidthBytes: 8}
+}
+
+// BurstCycles returns the cycles to transfer n contiguous bytes.
+func (b BusConfig) BurstCycles(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	beats := (n + b.WidthBytes - 1) / b.WidthBytes
+	return b.FirstCycles + (beats-1)*b.NextCycles
+}
+
+const pageShift = 16
+const pageSize = 1 << pageShift
+
+// Memory is a sparse byte-addressable physical memory.
+type Memory struct {
+	pages map[uint32][]byte
+	bus   BusConfig
+
+	// Reads counts bus read transactions; BytesRead the bytes moved.
+	Reads     uint64
+	BytesRead uint64
+}
+
+// New returns an empty memory with the given bus timing.
+func New(bus BusConfig) *Memory {
+	return &Memory{pages: make(map[uint32][]byte), bus: bus}
+}
+
+// Bus returns the bus timing configuration.
+func (m *Memory) Bus() BusConfig { return m.bus }
+
+func (m *Memory) page(addr uint32, create bool) []byte {
+	idx := addr >> pageShift
+	p := m.pages[idx]
+	if p == nil && create {
+		p = make([]byte, pageSize)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Backed reports whether addr has ever been written (i.e. belongs to a
+// loaded segment or touched page). The CPU uses it to distinguish the
+// virtual decompressed region (never loaded) from real memory.
+func (m *Memory) Backed(addr uint32) bool {
+	return m.pages[addr>>pageShift] != nil
+}
+
+// LoadByte returns the byte at addr (zero if unbacked).
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte stores one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// ReadWord returns the little-endian 32-bit word at addr. addr must be
+// 4-aligned; unaligned access is a simulator bug, so it panics.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned word read at %#x", addr))
+	}
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	off := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint32(p[off : off+4])
+}
+
+// WriteWord stores a little-endian 32-bit word at 4-aligned addr.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	if addr&3 != 0 {
+		panic(fmt.Sprintf("mem: unaligned word write at %#x", addr))
+	}
+	p := m.page(addr, true)
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint32(p[off:off+4], v)
+}
+
+// ReadHalf returns the little-endian 16-bit halfword at 2-aligned addr.
+func (m *Memory) ReadHalf(addr uint32) uint16 {
+	if addr&1 != 0 {
+		panic(fmt.Sprintf("mem: unaligned half read at %#x", addr))
+	}
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	off := addr & (pageSize - 1)
+	return binary.LittleEndian.Uint16(p[off : off+2])
+}
+
+// WriteHalf stores a 16-bit halfword at 2-aligned addr.
+func (m *Memory) WriteHalf(addr uint32, v uint16) {
+	if addr&1 != 0 {
+		panic(fmt.Sprintf("mem: unaligned half write at %#x", addr))
+	}
+	p := m.page(addr, true)
+	off := addr & (pageSize - 1)
+	binary.LittleEndian.PutUint16(p[off:off+2], v)
+}
+
+// ReadBlock copies n bytes starting at addr into dst and returns the bus
+// cycles the burst takes. It also updates the traffic counters.
+func (m *Memory) ReadBlock(addr uint32, dst []byte) int {
+	for i := range dst {
+		dst[i] = m.LoadByte(addr + uint32(i))
+	}
+	m.Reads++
+	m.BytesRead += uint64(len(dst))
+	return m.bus.BurstCycles(len(dst))
+}
+
+// LoadSegment copies a program segment into memory. Virtual segments are
+// skipped: they exist only inside the I-cache.
+func (m *Memory) LoadSegment(s *program.Segment) {
+	if s.Virtual {
+		return
+	}
+	for i, b := range s.Data {
+		m.StoreByte(s.Base+uint32(i), b)
+	}
+}
+
+// LoadImage loads every non-virtual segment of the image.
+func (m *Memory) LoadImage(im *program.Image) {
+	for _, s := range im.Segments {
+		m.LoadSegment(s)
+	}
+}

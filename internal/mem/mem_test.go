@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/program"
+)
+
+func TestBurstCycles(t *testing.T) {
+	bus := DefaultBus()
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 10}, {8, 10}, {9, 12}, {16, 12}, {32, 16}, {64, 24},
+	}
+	for _, c := range cases {
+		if got := bus.BurstCycles(c.n); got != c.want {
+			t.Errorf("BurstCycles(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(DefaultBus())
+	m.WriteWord(0x1000, 0xDEADBEEF)
+	if m.ReadWord(0x1000) != 0xDEADBEEF {
+		t.Fatal("word round trip")
+	}
+	if m.LoadByte(0x1000) != 0xEF || m.LoadByte(0x1003) != 0xDE {
+		t.Fatal("little endian layout")
+	}
+	m.WriteHalf(0x2000, 0xBEAD)
+	if m.ReadHalf(0x2000) != 0xBEAD {
+		t.Fatal("half round trip")
+	}
+	if m.ReadWord(0x99999000) != 0 {
+		t.Fatal("unbacked reads zero")
+	}
+	if m.Backed(0x99999000) {
+		t.Fatal("unbacked page reported backed")
+	}
+	if !m.Backed(0x1000) {
+		t.Fatal("backed page not reported")
+	}
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	m := New(DefaultBus())
+	for _, f := range []func(){
+		func() { m.ReadWord(0x1001) },
+		func() { m.WriteWord(0x1002, 0) },
+		func() { m.ReadHalf(0x1001) },
+		func() { m.WriteHalf(0x1003, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on unaligned access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	m := New(DefaultBus())
+	for i := uint32(0); i < 32; i++ {
+		m.StoreByte(0x3000+i, byte(i))
+	}
+	dst := make([]byte, 32)
+	cycles := m.ReadBlock(0x3000, dst)
+	if cycles != 16 {
+		t.Fatalf("cycles = %d, want 16", cycles)
+	}
+	for i := range dst {
+		if dst[i] != byte(i) {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+	if m.Reads != 1 || m.BytesRead != 32 {
+		t.Fatalf("traffic counters %d/%d", m.Reads, m.BytesRead)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New(DefaultBus())
+	base := uint32(pageSize - 2)
+	m.StoreByte(base, 0xAA)
+	m.StoreByte(base+1, 0xBB)
+	m.StoreByte(base+2, 0xCC) // next page
+	dst := make([]byte, 3)
+	m.ReadBlock(base, dst)
+	if dst[0] != 0xAA || dst[1] != 0xBB || dst[2] != 0xCC {
+		t.Fatalf("cross-page read %x", dst)
+	}
+}
+
+func TestLoadImageSkipsVirtual(t *testing.T) {
+	im := &program.Image{Segments: []*program.Segment{
+		{Name: program.SegText, Base: program.CompBase, Data: []byte{1, 2, 3, 4}, Virtual: true},
+		{Name: program.SegData, Base: program.DataBase, Data: []byte{5, 6, 7, 8}},
+	}}
+	m := New(DefaultBus())
+	m.LoadImage(im)
+	if m.Backed(program.CompBase) {
+		t.Fatal("virtual segment must not be loaded")
+	}
+	if m.LoadByte(program.DataBase+3) != 8 {
+		t.Fatal("data segment not loaded")
+	}
+}
+
+func TestQuickWordRoundTrip(t *testing.T) {
+	m := New(DefaultBus())
+	f := func(addr, v uint32) bool {
+		addr &^= 3
+		m.WriteWord(addr, v)
+		return m.ReadWord(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

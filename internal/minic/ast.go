@@ -1,0 +1,134 @@
+package minic
+
+// AST node definitions. Every value is a 32-bit integer; arrays are
+// global, word-sized, and indexed from zero.
+
+type programAST struct {
+	globals []*globalDecl
+	funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	name string
+	size int   // words; 1 for scalars
+	init int64 // initial value (scalars only)
+	line int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   *blockStmt
+	line   int
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type blockStmt struct{ stmts []stmt }
+
+type varStmt struct { // local declaration with optional initialiser
+	name string
+	init expr
+	line int
+}
+
+type assignStmt struct {
+	target *lvalue
+	value  expr
+	line   int
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els *blockStmt
+	line      int
+}
+
+type whileStmt struct {
+	cond expr
+	body *blockStmt
+	line int
+}
+
+type forStmt struct {
+	init stmt // nil, varStmt or assignStmt
+	cond expr // nil = always true
+	post stmt // nil or assignStmt
+	body *blockStmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // nil for bare return
+	line  int
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+func (*blockStmt) stmtNode()    {}
+func (*varStmt) stmtNode()      {}
+func (*assignStmt) stmtNode()   {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*exprStmt) stmtNode()     {}
+
+// lvalue is an assignable location: a variable or an array element.
+type lvalue struct {
+	name  string
+	index expr // nil for scalars
+	line  int
+}
+
+// Expressions.
+
+type expr interface{ exprNode() }
+
+type numberExpr struct{ value int64 }
+
+type varExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	str  string // for prints("...") only
+	line int
+}
+
+type unaryExpr struct {
+	op string // "-", "!", "~"
+	x  expr
+}
+
+type binaryExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+func (*numberExpr) exprNode() {}
+func (*varExpr) exprNode()    {}
+func (*indexExpr) exprNode()  {}
+func (*callExpr) exprNode()   {}
+func (*unaryExpr) exprNode()  {}
+func (*binaryExpr) exprNode() {}

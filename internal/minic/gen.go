@@ -1,0 +1,738 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Compile translates MiniC source into a linked native program image.
+// Each MiniC function becomes a procedure, so compiled programs work with
+// profiling, selective compression and placement exactly like the
+// synthetic benchmarks.
+func Compile(src string) (*program.Image, error) {
+	prog, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g := &gen{
+		b:       asm.NewBuilder(),
+		globals: make(map[string]*globalDecl),
+		funcs:   make(map[string]*funcDecl),
+		strings: make(map[string]string),
+	}
+	return g.program(prog)
+}
+
+// tempRegs is the expression-evaluation register pool. All are
+// caller-saved; live temporaries are spilled around calls.
+var tempRegs = []int{
+	isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4,
+	isa.RegT5, isa.RegT6, isa.RegT7, isa.RegT8, isa.RegT9,
+}
+
+type gen struct {
+	b       *asm.Builder
+	globals map[string]*globalDecl
+	funcs   map[string]*funcDecl
+	strings map[string]string // literal -> label
+
+	// per-function state
+	fn      *funcDecl
+	locals  map[string]int // name -> frame offset
+	nLocals int
+	inUse   map[int]bool // temp register -> live
+	labelN  int
+	loops   []loopLabels
+}
+
+type loopLabels struct{ brk, cont string }
+
+type compileError struct {
+	line int
+	msg  string
+}
+
+func (e *compileError) Error() string {
+	return fmt.Sprintf("minic: line %d: %s", e.line, e.msg)
+}
+
+func errf(line int, format string, args ...interface{}) error {
+	return &compileError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+var builtins = map[string]int{ // name -> arg count
+	"print": 1, "printc": 1, "printh": 1, "prints": 0, "exit": 1,
+}
+
+func (g *gen) program(prog *programAST) (*program.Image, error) {
+	for _, gl := range prog.globals {
+		if g.globals[gl.name] != nil {
+			return nil, errf(gl.line, "duplicate global %q", gl.name)
+		}
+		g.globals[gl.name] = gl
+	}
+	for _, fn := range prog.funcs {
+		if g.funcs[fn.name] != nil {
+			return nil, errf(fn.line, "duplicate function %q", fn.name)
+		}
+		if g.globals[fn.name] != nil {
+			return nil, errf(fn.line, "%q is both a global and a function", fn.name)
+		}
+		if builtins[fn.name] != 0 || fn.name == "prints" {
+			return nil, errf(fn.line, "%q shadows a built-in", fn.name)
+		}
+		g.funcs[fn.name] = fn
+	}
+	if g.funcs["main"] == nil {
+		return nil, fmt.Errorf("minic: no main function")
+	}
+	if len(g.funcs["main"].params) != 0 {
+		return nil, errf(g.funcs["main"].line, "main takes no parameters")
+	}
+
+	// Code: _start, then functions in source order.
+	g.b.Section(program.SegText, program.NativeBase, false)
+	g.b.Proc("_start")
+	g.b.Jump("jal", "main")
+	g.b.Move(isa.RegA0, isa.RegV0)
+	g.b.Li(isa.RegV0, isa.SysExit)
+	g.b.Syscall()
+	g.b.EndProc()
+	for _, fn := range prog.funcs {
+		if err := g.function(fn); err != nil {
+			return nil, err
+		}
+	}
+
+	// Data: globals, then string literals (emitted by the code pass).
+	g.b.Section(program.SegData, program.DataBase, false)
+	for _, gl := range prog.globals {
+		g.b.Label(gl.name)
+		if gl.size == 1 && gl.init != 0 {
+			g.b.Word(uint32(gl.init))
+		} else {
+			g.b.Space(4 * gl.size)
+		}
+	}
+	g.b.Align(4)
+	lits := make([]string, 0, len(g.strings))
+	for lit := range g.strings {
+		lits = append(lits, lit)
+	}
+	sort.Strings(lits)
+	for _, lit := range lits {
+		g.b.Label(g.strings[lit])
+		g.b.Asciiz(lit)
+		g.b.Align(4)
+	}
+
+	g.b.SetEntry("_start")
+	return g.b.Finish()
+}
+
+// collectLocals pre-scans a function for every `var`, assigning frame
+// slots (parameters first). MiniC uses one flat scope per function.
+func (g *gen) collectLocals(fn *funcDecl) error {
+	g.locals = make(map[string]int)
+	g.nLocals = 0
+	add := func(name string, line int) error {
+		if _, dup := g.locals[name]; dup {
+			return errf(line, "duplicate local %q in %s", name, fn.name)
+		}
+		g.locals[name] = 4 * g.nLocals
+		g.nLocals++
+		return nil
+	}
+	for _, p := range fn.params {
+		if err := add(p, fn.line); err != nil {
+			return err
+		}
+	}
+	var walk func(b *blockStmt) error
+	walk = func(b *blockStmt) error {
+		for _, s := range b.stmts {
+			switch s := s.(type) {
+			case *varStmt:
+				if err := add(s.name, s.line); err != nil {
+					return err
+				}
+			case *ifStmt:
+				if err := walk(s.then); err != nil {
+					return err
+				}
+				if s.els != nil {
+					if err := walk(s.els); err != nil {
+						return err
+					}
+				}
+			case *whileStmt:
+				if err := walk(s.body); err != nil {
+					return err
+				}
+			case *forStmt:
+				if v, ok := s.init.(*varStmt); ok {
+					if err := add(v.name, v.line); err != nil {
+						return err
+					}
+				}
+				if err := walk(s.body); err != nil {
+					return err
+				}
+			case *blockStmt:
+				if err := walk(s); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(fn.body)
+}
+
+// frameSize returns the stack frame: locals plus the saved $ra slot,
+// kept 8-byte aligned.
+func (g *gen) frameSize() int32 {
+	n := 4*g.nLocals + 4
+	return int32((n + 7) &^ 7)
+}
+
+func (g *gen) function(fn *funcDecl) error {
+	if err := g.collectLocals(fn); err != nil {
+		return err
+	}
+	g.fn = fn
+	g.inUse = make(map[int]bool)
+	g.loops = nil
+
+	g.b.Proc(fn.name)
+	frame := g.frameSize()
+	g.b.Imm("addiu", isa.RegSP, isa.RegSP, -frame)
+	g.b.Mem("sw", isa.RegRA, frame-4, isa.RegSP)
+	argRegs := []int{isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3}
+	for i, p := range fn.params {
+		g.b.Mem("sw", argRegs[i], int32(g.locals[p]), isa.RegSP)
+	}
+	if err := g.block(fn.body); err != nil {
+		return err
+	}
+	// Implicit "return 0" falls through to the epilogue.
+	g.b.Move(isa.RegV0, isa.RegZero)
+	g.b.Label(g.epilogue())
+	g.b.Mem("lw", isa.RegRA, frame-4, isa.RegSP)
+	g.b.Imm("addiu", isa.RegSP, isa.RegSP, frame)
+	g.b.JR(isa.RegRA)
+	g.b.EndProc()
+	return nil
+}
+
+func (g *gen) epilogue() string { return fn2label(g.fn.name) + "_ret" }
+
+func fn2label(name string) string { return "." + name }
+
+func (g *gen) label(hint string) string {
+	g.labelN++
+	return fmt.Sprintf("%s_%s%d", fn2label(g.fn.name), hint, g.labelN)
+}
+
+// alloc takes a free temp register.
+func (g *gen) alloc(line int) (int, error) {
+	for _, r := range tempRegs {
+		if !g.inUse[r] {
+			g.inUse[r] = true
+			return r, nil
+		}
+	}
+	return 0, errf(line, "expression too complex (more than %d live temporaries)", len(tempRegs))
+}
+
+func (g *gen) free(r int) { delete(g.inUse, r) }
+
+func (g *gen) liveTemps() []int {
+	var out []int
+	for _, r := range tempRegs {
+		if g.inUse[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---- statements ----
+
+func (g *gen) block(b *blockStmt) error {
+	for _, s := range b.stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *blockStmt:
+		return g.block(s)
+
+	case *varStmt:
+		if s.init == nil {
+			// Deterministic zero initialisation (frames are reused).
+			g.b.Mem("sw", isa.RegZero, int32(g.locals[s.name]), isa.RegSP)
+			return nil
+		}
+		r, err := g.expr(s.init, s.line)
+		if err != nil {
+			return err
+		}
+		g.b.Mem("sw", r, int32(g.locals[s.name]), isa.RegSP)
+		g.free(r)
+		return nil
+
+	case *assignStmt:
+		return g.assign(s)
+
+	case *ifStmt:
+		els := g.label("else")
+		end := g.label("endif")
+		r, err := g.expr(s.cond, s.line)
+		if err != nil {
+			return err
+		}
+		target := end
+		if s.els != nil {
+			target = els
+		}
+		g.b.Branch2("beq", r, isa.RegZero, target)
+		g.free(r)
+		if err := g.block(s.then); err != nil {
+			return err
+		}
+		if s.els != nil {
+			g.b.Branch2("beq", isa.RegZero, isa.RegZero, end)
+			g.b.Label(els)
+			if err := g.block(s.els); err != nil {
+				return err
+			}
+		}
+		g.b.Label(end)
+		return nil
+
+	case *whileStmt:
+		top := g.label("while")
+		end := g.label("endwhile")
+		g.b.Label(top)
+		r, err := g.expr(s.cond, s.line)
+		if err != nil {
+			return err
+		}
+		g.b.Branch2("beq", r, isa.RegZero, end)
+		g.free(r)
+		g.loops = append(g.loops, loopLabels{brk: end, cont: top})
+		if err := g.block(s.body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Branch2("beq", isa.RegZero, isa.RegZero, top)
+		g.b.Label(end)
+		return nil
+
+	case *forStmt:
+		if s.init != nil {
+			if err := g.stmt(s.init); err != nil {
+				return err
+			}
+		}
+		top := g.label("for")
+		post := g.label("forpost")
+		end := g.label("endfor")
+		g.b.Label(top)
+		if s.cond != nil {
+			r, err := g.expr(s.cond, s.line)
+			if err != nil {
+				return err
+			}
+			g.b.Branch2("beq", r, isa.RegZero, end)
+			g.free(r)
+		}
+		// continue jumps to the post statement, as in C.
+		g.loops = append(g.loops, loopLabels{brk: end, cont: post})
+		if err := g.block(s.body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.b.Label(post)
+		if s.post != nil {
+			if err := g.stmt(s.post); err != nil {
+				return err
+			}
+		}
+		g.b.Branch2("beq", isa.RegZero, isa.RegZero, top)
+		g.b.Label(end)
+		return nil
+
+	case *returnStmt:
+		if s.value != nil {
+			r, err := g.expr(s.value, s.line)
+			if err != nil {
+				return err
+			}
+			g.b.Move(isa.RegV0, r)
+			g.free(r)
+		} else {
+			g.b.Move(isa.RegV0, isa.RegZero)
+		}
+		g.b.Branch2("beq", isa.RegZero, isa.RegZero, g.epilogue())
+		return nil
+
+	case *breakStmt:
+		if len(g.loops) == 0 {
+			return errf(s.line, "break outside loop")
+		}
+		g.b.Branch2("beq", isa.RegZero, isa.RegZero, g.loops[len(g.loops)-1].brk)
+		return nil
+
+	case *continueStmt:
+		if len(g.loops) == 0 {
+			return errf(s.line, "continue outside loop")
+		}
+		g.b.Branch2("beq", isa.RegZero, isa.RegZero, g.loops[len(g.loops)-1].cont)
+		return nil
+
+	case *exprStmt:
+		r, err := g.expr(s.e, s.line)
+		if err != nil {
+			return err
+		}
+		g.free(r)
+		return nil
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+func (g *gen) assign(s *assignStmt) error {
+	v, err := g.expr(s.value, s.line)
+	if err != nil {
+		return err
+	}
+	lv := s.target
+	if off, isLocal := g.locals[lv.name]; isLocal {
+		if lv.index != nil {
+			return errf(lv.line, "local %q is not an array", lv.name)
+		}
+		g.b.Mem("sw", v, int32(off), isa.RegSP)
+		g.free(v)
+		return nil
+	}
+	gl := g.globals[lv.name]
+	if gl == nil {
+		return errf(lv.line, "undefined variable %q", lv.name)
+	}
+	addr, err := g.globalAddr(gl, lv.index, lv.line)
+	if err != nil {
+		return err
+	}
+	g.b.Mem("sw", v, 0, addr)
+	g.free(addr)
+	g.free(v)
+	return nil
+}
+
+// globalAddr leaves the address of gl (or gl[index]) in a fresh temp.
+func (g *gen) globalAddr(gl *globalDecl, index expr, line int) (int, error) {
+	if index == nil && gl.size != 1 {
+		return 0, errf(line, "array %q needs an index", gl.name)
+	}
+	if index != nil && gl.size == 1 {
+		return 0, errf(line, "%q is not an array", gl.name)
+	}
+	addr, err := g.alloc(line)
+	if err != nil {
+		return 0, err
+	}
+	g.b.La(addr, gl.name, 0)
+	if index != nil {
+		idx, err := g.expr(index, line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Shift("sll", idx, idx, 2)
+		g.b.R3("addu", addr, addr, idx)
+		g.free(idx)
+	}
+	return addr, nil
+}
+
+// ---- expressions ----
+
+// expr emits code leaving the value in a newly allocated temp register.
+func (g *gen) expr(e expr, line int) (int, error) {
+	switch e := e.(type) {
+	case *numberExpr:
+		r, err := g.alloc(line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Li(r, uint32(e.value))
+		return r, nil
+
+	case *varExpr:
+		r, err := g.alloc(e.line)
+		if err != nil {
+			return 0, err
+		}
+		if off, ok := g.locals[e.name]; ok {
+			g.b.Mem("lw", r, int32(off), isa.RegSP)
+			return r, nil
+		}
+		gl := g.globals[e.name]
+		if gl == nil {
+			return 0, errf(e.line, "undefined variable %q", e.name)
+		}
+		if gl.size != 1 {
+			return 0, errf(e.line, "array %q needs an index", e.name)
+		}
+		g.b.La(r, gl.name, 0)
+		g.b.Mem("lw", r, 0, r)
+		return r, nil
+
+	case *indexExpr:
+		if _, isLocal := g.locals[e.name]; isLocal {
+			return 0, errf(e.line, "local %q is not an array", e.name)
+		}
+		gl := g.globals[e.name]
+		if gl == nil {
+			return 0, errf(e.line, "undefined array %q", e.name)
+		}
+		addr, err := g.globalAddr(gl, e.index, e.line)
+		if err != nil {
+			return 0, err
+		}
+		g.b.Mem("lw", addr, 0, addr)
+		return addr, nil
+
+	case *unaryExpr:
+		x, err := g.expr(e.x, line)
+		if err != nil {
+			return 0, err
+		}
+		switch e.op {
+		case "-":
+			g.b.R3("subu", x, isa.RegZero, x)
+		case "!":
+			g.b.Imm("sltiu", x, x, 1)
+		case "~":
+			g.b.R3("nor", x, x, isa.RegZero)
+		}
+		return x, nil
+
+	case *binaryExpr:
+		return g.binary(e)
+
+	case *callExpr:
+		return g.call(e)
+	}
+	return 0, fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+func (g *gen) binary(e *binaryExpr) (int, error) {
+	if e.op == "&&" || e.op == "||" {
+		return g.shortCircuit(e)
+	}
+	l, err := g.expr(e.l, e.line)
+	if err != nil {
+		return 0, err
+	}
+	r, err := g.expr(e.r, e.line)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case "+":
+		g.b.R3("addu", l, l, r)
+	case "-":
+		g.b.R3("subu", l, l, r)
+	case "*":
+		g.b.MulDiv("mult", l, r)
+		g.b.MoveFrom("mflo", l)
+	case "/":
+		g.b.MulDiv("div", l, r)
+		g.b.MoveFrom("mflo", l)
+	case "%":
+		g.b.MulDiv("div", l, r)
+		g.b.MoveFrom("mfhi", l)
+	case "&":
+		g.b.R3("and", l, l, r)
+	case "|":
+		g.b.R3("or", l, l, r)
+	case "^":
+		g.b.R3("xor", l, l, r)
+	case "<<":
+		g.b.ShiftV("sllv", l, l, r)
+	case ">>":
+		g.b.ShiftV("srav", l, l, r)
+	case "==":
+		g.b.R3("xor", l, l, r)
+		g.b.Imm("sltiu", l, l, 1)
+	case "!=":
+		g.b.R3("xor", l, l, r)
+		g.b.R3("sltu", l, isa.RegZero, l)
+	case "<":
+		g.b.R3("slt", l, l, r)
+	case ">":
+		g.b.R3("slt", l, r, l)
+	case "<=":
+		g.b.R3("slt", l, r, l)
+		g.b.Imm("xori", l, l, 1)
+	case ">=":
+		g.b.R3("slt", l, l, r)
+		g.b.Imm("xori", l, l, 1)
+	default:
+		return 0, errf(e.line, "unknown operator %q", e.op)
+	}
+	g.free(r)
+	return l, nil
+}
+
+// shortCircuit emits && and || with C semantics (result is 0 or 1 and the
+// right operand is evaluated only when needed).
+func (g *gen) shortCircuit(e *binaryExpr) (int, error) {
+	res, err := g.alloc(e.line)
+	if err != nil {
+		return 0, err
+	}
+	end := g.label("sc")
+	l, err := g.expr(e.l, e.line)
+	if err != nil {
+		return 0, err
+	}
+	// Normalise the left value into res.
+	g.b.R3("sltu", res, isa.RegZero, l)
+	g.free(l)
+	if e.op == "&&" {
+		g.b.Branch2("beq", res, isa.RegZero, end) // false: result 0
+	} else {
+		g.b.Branch2("bne", res, isa.RegZero, end) // true: result 1
+	}
+	r, err := g.expr(e.r, e.line)
+	if err != nil {
+		return 0, err
+	}
+	g.b.R3("sltu", res, isa.RegZero, r)
+	g.free(r)
+	g.b.Label(end)
+	return res, nil
+}
+
+func (g *gen) call(e *callExpr) (int, error) {
+	if n, isBuiltin := builtins[e.name]; isBuiltin || e.name == "prints" {
+		return g.builtin(e, n)
+	}
+	fn := g.funcs[e.name]
+	if fn == nil {
+		return 0, errf(e.line, "undefined function %q", e.name)
+	}
+	if len(e.args) != len(fn.params) {
+		return 0, errf(e.line, "%s takes %d arguments, got %d", e.name, len(fn.params), len(e.args))
+	}
+	// Evaluate arguments into temps.
+	var argTemps []int
+	for _, a := range e.args {
+		r, err := g.expr(a, e.line)
+		if err != nil {
+			return 0, err
+		}
+		argTemps = append(argTemps, r)
+	}
+	// Save every other live temp across the call.
+	isArg := make(map[int]bool, len(argTemps))
+	for _, r := range argTemps {
+		isArg[r] = true
+	}
+	var saved []int
+	for _, r := range g.liveTemps() {
+		if !isArg[r] {
+			saved = append(saved, r)
+		}
+	}
+	if n := len(saved); n > 0 {
+		g.b.Imm("addiu", isa.RegSP, isa.RegSP, int32(-4*((n+1)&^1)))
+		for i, r := range saved {
+			g.b.Mem("sw", r, int32(4*i), isa.RegSP)
+		}
+	}
+	argRegs := []int{isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3}
+	for i, r := range argTemps {
+		g.b.Move(argRegs[i], r)
+		g.free(r)
+	}
+	g.b.Jump("jal", e.name)
+	res, err := g.alloc(e.line)
+	if err != nil {
+		return 0, err
+	}
+	g.b.Move(res, isa.RegV0)
+	if n := len(saved); n > 0 {
+		for i, r := range saved {
+			g.b.Mem("lw", r, int32(4*i), isa.RegSP)
+		}
+		g.b.Imm("addiu", isa.RegSP, isa.RegSP, int32(4*((n+1)&^1)))
+	}
+	return res, nil
+}
+
+func (g *gen) builtin(e *callExpr, nargs int) (int, error) {
+	if e.name == "prints" {
+		lbl, ok := g.strings[e.str]
+		if !ok {
+			lbl = fmt.Sprintf(".str%d", len(g.strings))
+			g.strings[e.str] = lbl
+		}
+		g.saveAroundSyscall(func() {
+			g.b.La(isa.RegA0, lbl, 0)
+			g.b.Li(isa.RegV0, isa.SysPrintString)
+			g.b.Syscall()
+		})
+		return g.zeroResult(e.line)
+	}
+	if len(e.args) != nargs {
+		return 0, errf(e.line, "%s takes %d argument(s), got %d", e.name, nargs, len(e.args))
+	}
+	r, err := g.expr(e.args[0], e.line)
+	if err != nil {
+		return 0, err
+	}
+	var sys uint32
+	switch e.name {
+	case "print":
+		sys = isa.SysPrintInt
+	case "printc":
+		sys = isa.SysPrintChar
+	case "printh":
+		sys = isa.SysPrintHex
+	case "exit":
+		sys = isa.SysExit
+	}
+	g.saveAroundSyscall(func() {
+		g.b.Move(isa.RegA0, r)
+		g.b.Li(isa.RegV0, sys)
+		g.b.Syscall()
+	})
+	g.free(r)
+	return g.zeroResult(e.line)
+}
+
+// saveAroundSyscall emits the body directly: syscalls clobber no
+// temporaries in this machine (only $a0/$v0, which are not pool members).
+func (g *gen) saveAroundSyscall(body func()) { body() }
+
+func (g *gen) zeroResult(line int) (int, error) {
+	r, err := g.alloc(line)
+	if err != nil {
+		return 0, err
+	}
+	g.b.Move(r, isa.RegZero)
+	return r, nil
+}

@@ -1,0 +1,266 @@
+// Package minic implements MiniC, a small C-like language that compiles
+// to CLR32. The paper's benchmarks are compiled programs; MiniC closes
+// that loop for this reproduction: programs written in it compile to
+// native images, which can then be compressed, run under any of the
+// software decompressors, profiled and selectively compressed — the full
+// workflow of the paper on human-written source code.
+//
+// The language: 32-bit integers only; global scalars and arrays;
+// functions with up to four parameters; locals; if/else, while, break,
+// continue, return; the usual C operators including short-circuit && and
+// ||; and built-ins print (decimal), printc (character), prints (string
+// literal) and printh (hex).
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // operators and punctuation, identified by text
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isLetter(c):
+			l.ident()
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.char(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.punct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isAlnum(c byte) bool {
+	return isLetter(c) || c >= '0' && c <= '9'
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if keywords[text] {
+		kind = tokKeyword
+	}
+	l.emit(token{kind: kind, text: text, line: l.line})
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	base := 10
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		base = 16
+		l.pos += 2
+	}
+	for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if base == 10 && containsHexLetter(text) {
+		return fmt.Errorf("minic: line %d: bad number %q", l.line, text)
+	}
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		// Allow full-range 32-bit hex constants like 0xFFFFFFFF.
+		u, uerr := strconv.ParseUint(text, 0, 32)
+		if uerr != nil {
+			return fmt.Errorf("minic: line %d: bad number %q", l.line, text)
+		}
+		v = int64(u)
+	}
+	l.emit(token{kind: tokNumber, text: text, num: v, line: l.line})
+	return nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func containsHexLetter(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if isLetter(s[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *lexer) str() error {
+	l.pos++ // opening quote
+	var out []byte
+	for {
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("minic: line %d: unterminated string", l.line)
+		}
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.emit(token{kind: tokString, text: string(out), line: l.line})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case '\\':
+				out = append(out, '\\')
+			case '"':
+				out = append(out, '"')
+			case '0':
+				out = append(out, 0)
+			default:
+				return fmt.Errorf("minic: line %d: bad escape \\%c", l.line, l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			return fmt.Errorf("minic: line %d: newline in string", l.line)
+		}
+		out = append(out, c)
+		l.pos++
+	}
+}
+
+func (l *lexer) char() error {
+	if l.pos+2 >= len(l.src) {
+		return fmt.Errorf("minic: line %d: bad char literal", l.line)
+	}
+	l.pos++
+	c := l.src[l.pos]
+	if c == '\\' {
+		l.pos++
+		switch l.src[l.pos] {
+		case 'n':
+			c = '\n'
+		case 't':
+			c = '\t'
+		case '\\':
+			c = '\\'
+		case '\'':
+			c = '\''
+		case '0':
+			c = 0
+		default:
+			return fmt.Errorf("minic: line %d: bad char escape", l.line)
+		}
+	}
+	l.pos++
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return fmt.Errorf("minic: line %d: unterminated char literal", l.line)
+	}
+	l.pos++
+	l.emit(token{kind: tokNumber, num: int64(c), text: string(c), line: l.line})
+	return nil
+}
+
+func (l *lexer) punct() error {
+	rest := l.src[l.pos:]
+	for _, p := range punct2 {
+		if len(rest) >= 2 && rest[:2] == p {
+			l.emit(token{kind: tokPunct, text: p, line: l.line})
+			l.pos += 2
+			return nil
+		}
+	}
+	switch c := rest[0]; c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ',', ';':
+		l.emit(token{kind: tokPunct, text: string(c), line: l.line})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("minic: line %d: unexpected character %q", l.line, string(c))
+	}
+}

@@ -1,0 +1,401 @@
+package minic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+func compileRun(t *testing.T, src string) (string, int32) {
+	t.Helper()
+	im, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.MaxInstr = 50_000_000
+	c, err := cpu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	c.Out = &out
+	if err := c.Load(im); err != nil {
+		t.Fatal(err)
+	}
+	code, err := c.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String(), code
+}
+
+func expectOut(t *testing.T, src, want string) {
+	t.Helper()
+	got, code := compileRun(t, src)
+	if got != want {
+		t.Fatalf("output %q, want %q", got, want)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+func TestHello(t *testing.T) {
+	expectOut(t, `
+func main() {
+	prints("hello, minic\n");
+	return 0;
+}`, "hello, minic\n")
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOut(t, `
+func main() {
+	print(2 + 3 * 4);       // 14
+	printc(' ');
+	print((2 + 3) * 4);     // 20
+	printc(' ');
+	print(100 / 7);         // 14
+	printc(' ');
+	print(100 % 7);         // 2
+	printc(' ');
+	print(-5 + 3);          // -2
+	printc(' ');
+	print(1 << 10);         // 1024
+	printc(' ');
+	print(-8 >> 1);         // -4 (arithmetic shift)
+	return 0;
+}`, "14 20 14 2 -2 1024 -4")
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	expectOut(t, `
+func main() {
+	print(3 < 5);  print(5 < 3);  print(3 <= 3);
+	print(5 > 3);  print(3 > 5);  print(3 >= 4);
+	print(7 == 7); print(7 != 7); print(!0); print(!9);
+	print(1 && 2); print(1 && 0); print(0 || 3); print(0 || 0);
+	printh(~0);
+	return 0;
+}`, "101100101010100xffffffff")
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectOut(t, `
+var hits;
+func bump() {
+	hits = hits + 1;
+	return 1;
+}
+func main() {
+	hits = 0;
+	var x = 0 && bump();   // bump must not run
+	var y = 1 || bump();   // bump must not run
+	var z = 1 && bump();   // bump runs
+	print(hits); print(x); print(y); print(z);
+	return 0;
+}`, "1011")
+}
+
+func TestFibonacciRecursion(t *testing.T) {
+	expectOut(t, `
+func fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() {
+	print(fib(15));
+	return 0;
+}`, "610")
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	expectOut(t, `
+var total;
+var squares[20];
+func fill(n) {
+	var i = 0;
+	while (i < n) {
+		squares[i] = i * i;
+		i = i + 1;
+	}
+	return 0;
+}
+func main() {
+	fill(20);
+	total = 0;
+	var i = 0;
+	while (i < 20) {
+		total = total + squares[i];
+		i = i + 1;
+	}
+	print(total);    // sum of squares 0..19 = 2470
+	return 0;
+}`, "2470")
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	expectOut(t, `
+func main() {
+	var i = 0;
+	var sum = 0;
+	while (1) {
+		i = i + 1;
+		if (i > 10) { break; }
+		if (i % 2 == 0) { continue; }
+		sum = sum + i;     // 1+3+5+7+9
+	}
+	print(sum);
+	return 0;
+}`, "25")
+}
+
+func TestNestedCallsPreserveTemps(t *testing.T) {
+	// The result of g() must survive the call to h() inside the same
+	// expression (live-temp spill around calls).
+	expectOut(t, `
+func g() { return 100; }
+func h() { return 23; }
+func main() {
+	print(g() + h());
+	print(g() - h() + g() * 2 - h());
+	return 0;
+}`, "123254")
+}
+
+func TestFourParams(t *testing.T) {
+	expectOut(t, `
+func mix(a, b, c, d) {
+	return a * 1000 + b * 100 + c * 10 + d;
+}
+func main() {
+	print(mix(1, 2, 3, 4));
+	return 0;
+}`, "1234")
+}
+
+func TestGCDAndExitCode(t *testing.T) {
+	got, code := compileRun(t, `
+func gcd(a, b) {
+	while (b != 0) {
+		var t = b;
+		b = a % b;
+		a = t;
+	}
+	return a;
+}
+func main() {
+	return gcd(462, 1071);   // 21
+}`)
+	if got != "" || code != 21 {
+		t.Fatalf("got %q / %d", got, code)
+	}
+}
+
+func TestUninitialisedLocalIsZero(t *testing.T) {
+	expectOut(t, `
+func f() {
+	var x;
+	var y = x + 1;
+	return y;
+}
+func main() {
+	f();
+	print(f());
+	return 0;
+}`, "1")
+}
+
+func TestCharAndHexLiterals(t *testing.T) {
+	expectOut(t, `
+func main() {
+	printc('A');
+	printc('\n');
+	printh(0xBEEF);
+	print(0x10);
+	return 0;
+}`, "A\n0xbeef16")
+}
+
+func TestElseIfChain(t *testing.T) {
+	expectOut(t, `
+func grade(x) {
+	if (x >= 90) { return 'A'; }
+	else if (x >= 80) { return 'B'; }
+	else if (x >= 70) { return 'C'; }
+	else { return 'F'; }
+}
+func main() {
+	printc(grade(95)); printc(grade(85)); printc(grade(75)); printc(grade(10));
+	return 0;
+}`, "ABCF")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main() { return x; }", "undefined variable"},
+		{"func main() { nosuch(); }", "undefined function"},
+		{"func f(a) { return a; } func main() { return f(1, 2); }", "arguments"},
+		{"func main() { var a; var a; }", "duplicate local"},
+		{"var g; var g; func main() { return 0; }", "duplicate global"},
+		{"func f() { return 0; } func f() { return 1; } func main() { return 0; }", "duplicate function"},
+		{"func main() { break; }", "break outside loop"},
+		{"func main() { continue; }", "continue outside loop"},
+		{"func f() { return 0; }", "no main"},
+		{"func main(a) { return a; }", "main takes no parameters"},
+		{"func main() { return 1 +; }", "unexpected token"},
+		{"func main() { if 1 { } }", "expected"},
+		{"var a[3]; func main() { return a; }", "needs an index"},
+		{"var s; func main() { return s[0]; }", "not an array"},
+		{"func main() { var v; return v[1]; }", "not an array"},
+		{"func f(a, b, c, d, e) { return 0; } func main() { return 0; }", "at most 4"},
+		{"func print() { return 0; } func main() { return 0; }", "shadows a built-in"},
+		{"var main; func main() { return 0; }", "both a global and a function"},
+	}
+	for i, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: err = %v, want substring %q", i, err, c.want)
+		}
+	}
+}
+
+func TestFunctionsBecomeProcedures(t *testing.T) {
+	im, err := Compile(`
+func helper(x) { return x * 2; }
+func main() { return helper(21); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.ProcByName("helper") == nil || im.ProcByName("main") == nil || im.ProcByName("_start") == nil {
+		t.Fatalf("procedure table incomplete: %+v", im.Procs)
+	}
+	if im.Entry != im.Symbols["_start"] {
+		t.Fatal("entry must be _start")
+	}
+}
+
+func TestStringDeduplication(t *testing.T) {
+	im, err := Compile(`
+func main() {
+	prints("same"); prints("same"); prints("other");
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := im.Segment(program.SegData)
+	count := bytes.Count(data.Data, []byte("same\x00"))
+	if count != 1 {
+		t.Fatalf("literal stored %d times, want 1", count)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	expectOut(t, `
+// line comment
+/* block
+   comment */
+func main() {
+	/* inline */ print(7); // trailing
+	return 0;
+}`, "7")
+}
+
+func TestDeepExpressionFailsGracefully(t *testing.T) {
+	// Build an expression needing more than 10 live temporaries.
+	expr := "1"
+	for i := 0; i < 12; i++ {
+		expr = "(" + expr + " + (1"
+	}
+	for i := 0; i < 12; i++ {
+		expr += "))"
+	}
+	_, err := Compile("func main() { return " + expr + "; }")
+	if err == nil || !strings.Contains(err.Error(), "too complex") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	expectOut(t, `
+func main() {
+	var sum = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		sum = sum + i;
+	}
+	print(sum);                 // 45
+	for (; sum > 40;) {         // header parts are optional
+		sum = sum - 10;
+	}
+	print(sum);                 // 35
+	var k = 0;
+	for (k = 0; ; k = k + 1) {  // no condition: break exits
+		if (k == 3) { break; }
+	}
+	print(k);                   // 3
+	return 0;
+}`, "45353")
+}
+
+func TestForContinueRunsPost(t *testing.T) {
+	expectOut(t, `
+func main() {
+	var sum = 0;
+	for (var i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		sum = sum + i;          // 1+3+5+7+9
+	}
+	print(sum);
+	return 0;
+}`, "25")
+}
+
+func TestNestedForLoops(t *testing.T) {
+	expectOut(t, `
+var grid[25];
+func main() {
+	for (var i = 0; i < 5; i = i + 1) {
+		for (var j = 0; j < 5; j = j + 1) {
+			grid[i * 5 + j] = i * j;
+		}
+	}
+	var total = 0;
+	for (var k = 0; k < 25; k = k + 1) {
+		total = total + grid[k];
+	}
+	print(total);               // (0+1+2+3+4)^2 = 100
+	return 0;
+}`, "100")
+}
+
+func TestGlobalInitialisers(t *testing.T) {
+	expectOut(t, `
+var base = 100;
+var neg = -7;
+var zero;
+func main() {
+	print(base + neg + zero);   // 93
+	base = base + 1;
+	print(base);                // 101
+	return 0;
+}`, "93101")
+}
+
+func TestGlobalInitialiserMustBeConstant(t *testing.T) {
+	// A non-constant initialiser is rejected at the parse level.
+	if _, err := Compile("var x = 1 + 2; func main() { return 0; }"); err == nil {
+		t.Fatal("expected error for non-constant initialiser")
+	}
+	if _, err := Compile("var x = f(); func main() { return 0; }"); err == nil {
+		t.Fatal("expected error for call initialiser")
+	}
+}

@@ -1,0 +1,512 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*programAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &programAST{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "var"):
+			g, err := p.global()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, g)
+		case p.at(tokKeyword, "func"):
+			f, err := p.function()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, p.errf("expected 'var' or 'func', got %q", p.cur().text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, p.errf("expected %q, got %q", want, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("minic: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) global() (*globalDecl, error) {
+	p.next() // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	g := &globalDecl{name: name.text, size: 1, line: name.line}
+	switch {
+	case p.accept(tokPunct, "["):
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if n.num <= 0 || n.num > 1<<20 {
+			return nil, p.errf("bad array size %d", n.num)
+		}
+		g.size = int(n.num)
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	case p.accept(tokPunct, "="):
+		// Constant initialiser: an optionally negated number literal.
+		neg := p.accept(tokPunct, "-")
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, p.errf("global initialisers must be constant")
+		}
+		g.init = n.num
+		if neg {
+			g.init = -g.init
+		}
+	}
+	_, err = p.expect(tokPunct, ";")
+	return g, err
+}
+
+func (p *parser) function() (*funcDecl, error) {
+	p.next() // func
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name.text, line: name.line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for !p.at(tokPunct, ")") {
+		if len(f.params) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, param.text)
+	}
+	p.next() // )
+	if len(f.params) > 4 {
+		return nil, p.errf("function %s has %d parameters; at most 4 supported", f.name, len(f.params))
+	}
+	f.body, err = p.block()
+	return f, err
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokKeyword, "var"):
+		p.next()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		s := &varStmt{name: name.text, line: name.line}
+		if p.accept(tokPunct, "=") {
+			s.init, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(tokPunct, ";")
+		return s, err
+
+	case p.at(tokKeyword, "if"):
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{cond: cond, then: then, line: t.line}
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				// else if: wrap in a synthetic block
+				inner, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				s.els = &blockStmt{stmts: []stmt{inner}}
+			} else {
+				s.els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return s, nil
+
+	case p.at(tokKeyword, "for"):
+		return p.forStatement()
+
+	case p.at(tokKeyword, "while"):
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: t.line}, nil
+
+	case p.at(tokKeyword, "return"):
+		p.next()
+		s := &returnStmt{line: t.line}
+		if !p.at(tokPunct, ";") {
+			var err error
+			s.value, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(tokPunct, ";")
+		return s, err
+
+	case p.at(tokKeyword, "break"):
+		p.next()
+		_, err := p.expect(tokPunct, ";")
+		return &breakStmt{line: t.line}, err
+
+	case p.at(tokKeyword, "continue"):
+		p.next()
+		_, err := p.expect(tokPunct, ";")
+		return &continueStmt{line: t.line}, err
+
+	case t.kind == tokIdent:
+		// assignment (x = e; or a[i] = e;) or expression statement (call).
+		if p.toks[p.pos+1].kind == tokPunct &&
+			(p.toks[p.pos+1].text == "=" || p.toks[p.pos+1].text == "[") {
+			return p.assignOrIndex()
+		}
+		fallthrough
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &exprStmt{e: e, line: t.line}, nil
+	}
+}
+
+// forStatement parses "for (init; cond; post) block" where init is an
+// optional var declaration or assignment, cond an optional expression and
+// post an optional assignment.
+func (p *parser) forStatement() (stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &forStmt{line: t.line}
+	if !p.at(tokPunct, ";") {
+		init, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		f.init = init
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		f.cond = cond
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		post, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		f.post = post
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+// simpleStatement parses a semicolon-free var declaration or assignment,
+// as used in for-loop headers.
+func (p *parser) simpleStatement() (stmt, error) {
+	if p.accept(tokKeyword, "var") {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		s := &varStmt{name: name.text, line: name.line}
+		if p.accept(tokPunct, "=") {
+			s.init, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	lv := &lvalue{name: name.text, line: name.line}
+	if p.accept(tokPunct, "[") {
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		lv.index = idx
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	value, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &assignStmt{target: lv, value: value, line: name.line}, nil
+}
+
+// assignOrIndex handles "x = e;", "a[i] = e;" and "a[i];"-style reads used
+// as expression statements.
+func (p *parser) assignOrIndex() (stmt, error) {
+	name := p.next()
+	lv := &lvalue{name: name.text, line: name.line}
+	if p.accept(tokPunct, "[") {
+		idx, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		lv.index = idx
+	}
+	if p.accept(tokPunct, "=") {
+		value, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &assignStmt{target: lv, value: value, line: name.line}, nil
+	}
+	// Not an assignment after all: re-parse as an expression statement.
+	var e expr
+	if lv.index != nil {
+		e = &indexExpr{name: lv.name, index: lv.index, line: lv.line}
+	} else {
+		e = &varExpr{name: lv.name, line: lv.line}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &exprStmt{e: e, line: name.line}, nil
+}
+
+// Operator precedence, lowest first.
+var precedence = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expression() (expr, error) { return p.binary(0) }
+
+func (p *parser) binary(level int) (expr, error) {
+	if level >= len(precedence) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precedence[level] {
+			if p.at(tokPunct, op) {
+				line := p.next().line
+				right, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &binaryExpr{op: op, l: left, r: right, line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	for _, op := range []string{"-", "!", "~"} {
+		if p.at(tokPunct, op) {
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: op, x: x}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &numberExpr{value: t.num}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ")")
+		return e, err
+	case t.kind == tokIdent:
+		p.next()
+		switch {
+		case p.accept(tokPunct, "("):
+			call := &callExpr{name: t.text, line: t.line}
+			// prints takes a string literal.
+			if t.text == "prints" {
+				s, err := p.expect(tokString, "")
+				if err != nil {
+					return nil, err
+				}
+				call.str = s.text
+				_, err = p.expect(tokPunct, ")")
+				return call, err
+			}
+			for !p.at(tokPunct, ")") {
+				if len(call.args) > 0 {
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.args = append(call.args, a)
+			}
+			p.next() // )
+			return call, nil
+		case p.accept(tokPunct, "["):
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: t.text, index: idx, line: t.line}, nil
+		default:
+			return &varExpr{name: t.text, line: t.line}, nil
+		}
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.text)
+	}
+}

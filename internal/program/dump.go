@@ -1,0 +1,29 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DisassembleImage renders every code segment of the image as assembly
+// text with procedure headers, one instruction per line.
+func DisassembleImage(im *Image) string {
+	var b strings.Builder
+	for _, s := range im.Segments {
+		switch s.Name {
+		case SegText, SegNative, SegDecompressor:
+		default:
+			continue
+		}
+		fmt.Fprintf(&b, "%s @ %#x (%d bytes)\n", s.Name, s.Base, len(s.Data))
+		for addr := s.Base; addr+4 <= s.End(); addr += 4 {
+			if p := im.ProcAt(addr); p != nil && p.Addr == addr {
+				fmt.Fprintf(&b, "%s:\n", p.Name)
+			}
+			fmt.Fprintf(&b, "  %08x  %s\n", addr, isa.Disassemble(addr, s.Word(addr)))
+		}
+	}
+	return b.String()
+}

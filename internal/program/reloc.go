@@ -1,0 +1,86 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// RelocKind identifies how a relocation patches its site.
+type RelocKind int
+
+// Relocation kinds. Conditional branches never get relocations: they are
+// always intra-procedure and PC-relative, so moving a procedure as a unit
+// keeps them valid.
+const (
+	RelJ26    RelocKind = iota // 26-bit jump target field of j/jal
+	RelHi16                    // upper half of an address (lui)
+	RelLo16                    // lower half of an address (ori)
+	RelWord32                  // full 32-bit word (data tables)
+)
+
+func (k RelocKind) String() string {
+	switch k {
+	case RelJ26:
+		return "J26"
+	case RelHi16:
+		return "HI16"
+	case RelLo16:
+		return "LO16"
+	case RelWord32:
+		return "WORD32"
+	}
+	return fmt.Sprintf("RelocKind(%d)", int(k))
+}
+
+// Reloc records one patch site. Seg names the segment holding the site,
+// Off is the byte offset of the word within that segment, Sym the target
+// symbol and Add a byte addend.
+type Reloc struct {
+	Kind RelocKind
+	Seg  string
+	Off  uint32
+	Sym  string
+	Add  int32
+}
+
+// ApplyRelocs patches every relocation site in the image using the current
+// symbol table. It is called once by the assembler and again by the
+// selective-compression rewriter after procedures move.
+func ApplyRelocs(im *Image) error {
+	for i := range im.Relocs {
+		r := &im.Relocs[i]
+		seg := im.Segment(r.Seg)
+		if seg == nil {
+			return fmt.Errorf("program: reloc %d: no segment %q", i, r.Seg)
+		}
+		if r.Off+4 > uint32(len(seg.Data)) {
+			return fmt.Errorf("program: reloc %d: offset %#x outside %s", i, r.Off, r.Seg)
+		}
+		target, ok := im.Symbols[r.Sym]
+		if !ok {
+			return fmt.Errorf("program: reloc %d: undefined symbol %q", i, r.Sym)
+		}
+		value := target + uint32(r.Add)
+		site := seg.Base + r.Off
+		w := seg.Word(site)
+		switch r.Kind {
+		case RelJ26:
+			field, err := isa.EncodeJumpTarget(site, value)
+			if err != nil {
+				return fmt.Errorf("program: reloc %d (%s): %v", i, r.Sym, err)
+			}
+			w = w&^uint32(0x03FFFFFF) | field
+		case RelHi16:
+			w = w&^uint32(0xFFFF) | value>>16
+		case RelLo16:
+			w = w&^uint32(0xFFFF) | value&0xFFFF
+		case RelWord32:
+			w = value
+		default:
+			return fmt.Errorf("program: reloc %d: unknown kind %v", i, r.Kind)
+		}
+		seg.SetWord(site, w)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package program
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The on-disk image format is gzip-compressed JSON of the Image struct.
+// It exists so the command-line tools (ccasm, cccompress, simrun) compose
+// into a pipeline; it is versioned defensively via a small header.
+
+type imageFile struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Image   *Image `json:"image"`
+}
+
+const (
+	fileFormat  = "clr32-image"
+	fileVersion = 1
+)
+
+// Save writes the image to w.
+func Save(w io.Writer, im *Image) error {
+	zw := gzip.NewWriter(w)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(imageFile{Format: fileFormat, Version: fileVersion, Image: im}); err != nil {
+		return fmt.Errorf("program: encoding image: %v", err)
+	}
+	return zw.Close()
+}
+
+// Load reads an image from r and validates it.
+func Load(r io.Reader) (*Image, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("program: not an image file: %v", err)
+	}
+	defer zr.Close()
+	var f imageFile
+	if err := json.NewDecoder(zr).Decode(&f); err != nil {
+		return nil, fmt.Errorf("program: decoding image: %v", err)
+	}
+	if f.Format != fileFormat {
+		return nil, fmt.Errorf("program: unknown format %q", f.Format)
+	}
+	if f.Version != fileVersion {
+		return nil, fmt.Errorf("program: unsupported version %d", f.Version)
+	}
+	if f.Image == nil {
+		return nil, fmt.Errorf("program: empty image file")
+	}
+	if err := f.Image.Validate(); err != nil {
+		return nil, err
+	}
+	return f.Image, nil
+}
+
+// SaveFile writes the image to path.
+func SaveFile(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an image from path.
+func LoadFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,145 @@
+package program
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Entry: 0x400000,
+		Segments: []*Segment{
+			seg(SegText, 0x400000, 0x34020001, 0x0000000C),
+			seg(SegData, DataBase, 0xDEADBEEF),
+			{Name: SegText + ".virtual", Base: CompBase, Data: []byte{1, 2, 3, 4}, Virtual: true},
+		},
+		Symbols: map[string]uint32{"main": 0x400000},
+		Procs:   []Procedure{{Name: "main", Addr: 0x400000, Size: 8}},
+		Relocs:  []Reloc{{Kind: RelJ26, Seg: SegText, Off: 0, Sym: "main"}},
+		Compress: &CompressionInfo{
+			Scheme: SchemeDict, CompStart: CompBase, CompEnd: CompBase + 4,
+			DictBase: CompDataBase, IndicesBase: CompDataBase + 64, ShadowRF: true,
+		},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	if err := Save(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(im, got) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", im, got)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.img")
+	im := sampleImage()
+	if err := SaveFile(path, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != im.Entry || len(got.Segments) != len(im.Segments) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.img")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	var buf bytes.Buffer
+	im := sampleImage()
+	if err := Save(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the format string inside the gzip stream by re-encoding.
+	data := buf.Bytes()
+	// Load the valid one first to prove the baseline works.
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	// An invalid image (overlapping segments) must fail validation.
+	bad := sampleImage()
+	bad.Segments = append(bad.Segments, seg(".dup", 0x400000, 1))
+	var buf2 bytes.Buffer
+	if err := Save(&buf2, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2); err == nil {
+		t.Fatal("invalid image must fail Load validation")
+	}
+}
+
+func TestDisassembleImage(t *testing.T) {
+	im := sampleImage()
+	out := DisassembleImage(im)
+	if !strings.Contains(out, "main:") {
+		t.Fatalf("missing proc header:\n%s", out)
+	}
+	if !strings.Contains(out, "ori $v0, $zero, 0x1") {
+		t.Fatalf("missing instruction:\n%s", out)
+	}
+	if !strings.Contains(out, "syscall") {
+		t.Fatalf("missing syscall:\n%s", out)
+	}
+	if strings.Contains(out, SegData) {
+		t.Fatal("data segments must not be disassembled")
+	}
+}
+
+// Property: arbitrary generated images survive Save/Load byte-exactly.
+func TestQuickSaveLoadRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nSegs := r.Intn(4) + 1
+		im := &Image{Symbols: map[string]uint32{}}
+		base := uint32(0x400000)
+		for i := 0; i < nSegs; i++ {
+			data := make([]byte, (r.Intn(16)+1)*4)
+			r.Read(data)
+			im.Segments = append(im.Segments, &Segment{
+				Name:    fmt.Sprintf(".s%d", i),
+				Base:    base,
+				Data:    data,
+				Virtual: r.Intn(2) == 0,
+			})
+			base += uint32(len(data)) + uint32(r.Intn(1024)+4)&^3
+		}
+		im.Entry = im.Segments[0].Base
+		im.Symbols["e"] = im.Entry
+		var buf bytes.Buffer
+		if err := Save(&buf, im); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(im, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package selective implements selective compression (paper §3.3): given
+// a per-procedure profile, it chooses which procedures stay as native code
+// so that decompression overhead is controlled at a cost in code size.
+//
+// Two selection policies are provided, matching the paper:
+//
+//   - execution-based: procedures are ranked by dynamic instruction count
+//     (the policy used by MIPS16/Thumb-style systems), and
+//   - miss-based: procedures are ranked by non-speculative I-cache misses,
+//     which models the actual cost path of a cache-line decompressor.
+package selective
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+// Policy selects the profile metric used for ranking.
+type Policy int
+
+// Selection policies.
+const (
+	ByExecution Policy = iota
+	ByMisses
+)
+
+func (p Policy) String() string {
+	if p == ByMisses {
+		return "miss"
+	}
+	return "exec"
+}
+
+// Thresholds are the coverage fractions the paper evaluates (§3.3): the
+// top procedures are kept native until they account for this share of the
+// profile metric.
+var Thresholds = []float64{0.05, 0.10, 0.15, 0.20, 0.50}
+
+// Select returns the names of the procedures to keep as native code: the
+// highest-ranked procedures whose cumulative metric first reaches
+// fraction * total. fraction <= 0 selects nothing.
+func Select(prof *cpu.ProcProfile, policy Policy, fraction float64) map[string]bool {
+	selected := make(map[string]bool)
+	if fraction <= 0 {
+		return selected
+	}
+	metric := prof.Execs
+	if policy == ByMisses {
+		metric = prof.Misses
+	}
+	var total uint64
+	for _, v := range metric {
+		total += v
+	}
+	if total == 0 {
+		return selected
+	}
+	order := make([]int, len(prof.Procs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if metric[i] != metric[j] {
+			return metric[i] > metric[j]
+		}
+		return prof.Procs[i].Addr < prof.Procs[j].Addr
+	})
+	goal := fraction * float64(total)
+	var cum float64
+	for _, i := range order {
+		if metric[i] == 0 || cum >= goal {
+			break
+		}
+		selected[prof.Procs[i].Name] = true
+		cum += float64(metric[i])
+	}
+	return selected
+}
+
+// Profile runs the image to completion on a machine with the given
+// configuration and returns its per-procedure profile and run statistics.
+// The paper gathers both execution and miss profiles from the original
+// (native) program; note §5.3's caveat that re-laying the program out
+// changes the miss profile — which is exactly what the experiments show.
+func Profile(im *program.Image, cfg cpu.Config) (*cpu.ProcProfile, cpu.Stats, error) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, cpu.Stats{}, err
+	}
+	prof := cpu.NewProcProfile(im)
+	c.Prof = prof
+	c.Out = io.Discard
+	if err := c.Load(im); err != nil {
+		return nil, cpu.Stats{}, err
+	}
+	if _, err := c.Run(); err != nil {
+		return nil, cpu.Stats{}, fmt.Errorf("selective: profiling run: %v", err)
+	}
+	return prof, c.Stats, nil
+}
+
+// Coverage reports the fraction of the metric covered by the selection.
+func Coverage(prof *cpu.ProcProfile, policy Policy, selected map[string]bool) float64 {
+	metric := prof.Execs
+	if policy == ByMisses {
+		metric = prof.Misses
+	}
+	var total, cov uint64
+	for i := range prof.Procs {
+		total += metric[i]
+		if selected[prof.Procs[i].Name] {
+			cov += metric[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cov) / float64(total)
+}

@@ -1,0 +1,180 @@
+package selective
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+// profileOf builds a synthetic profile directly.
+func profileOf(names []string, execs, misses []uint64) *cpu.ProcProfile {
+	p := &cpu.ProcProfile{Execs: execs, Misses: misses}
+	for i, n := range names {
+		p.Procs = append(p.Procs, program.Procedure{Name: n, Addr: uint32(0x400000 + 64*i), Size: 64})
+	}
+	return p
+}
+
+func TestSelectByExecution(t *testing.T) {
+	prof := profileOf(
+		[]string{"a", "b", "c", "d"},
+		[]uint64{500, 300, 150, 50}, // total 1000
+		[]uint64{1, 1, 1, 1},
+	)
+	sel := Select(prof, ByExecution, 0.05)
+	if len(sel) != 1 || !sel["a"] {
+		t.Fatalf("5%%: %v", sel)
+	}
+	sel = Select(prof, ByExecution, 0.50)
+	if len(sel) != 1 || !sel["a"] {
+		t.Fatalf("50%% reached by a alone: %v", sel)
+	}
+	sel = Select(prof, ByExecution, 0.60)
+	if len(sel) != 2 || !sel["a"] || !sel["b"] {
+		t.Fatalf("60%%: %v", sel)
+	}
+	sel = Select(prof, ByExecution, 1.0)
+	if len(sel) != 4 {
+		t.Fatalf("100%%: %v", sel)
+	}
+}
+
+func TestSelectByMisses(t *testing.T) {
+	prof := profileOf(
+		[]string{"hotloop", "coldpath"},
+		[]uint64{10000, 100}, // hotloop dominates execution
+		[]uint64{1, 99},      // but coldpath owns the misses
+	)
+	exec := Select(prof, ByExecution, 0.20)
+	miss := Select(prof, ByMisses, 0.20)
+	if !exec["hotloop"] || exec["coldpath"] {
+		t.Fatalf("exec selection: %v", exec)
+	}
+	if !miss["coldpath"] || miss["hotloop"] {
+		t.Fatalf("miss selection: %v", miss)
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	prof := profileOf([]string{"a"}, []uint64{10}, []uint64{0})
+	if len(Select(prof, ByExecution, 0)) != 0 {
+		t.Fatal("fraction 0 must select nothing")
+	}
+	if len(Select(prof, ByExecution, -1)) != 0 {
+		t.Fatal("negative fraction must select nothing")
+	}
+	// No misses at all: miss-based selection selects nothing.
+	if len(Select(prof, ByMisses, 0.5)) != 0 {
+		t.Fatal("zero-metric selection must be empty")
+	}
+}
+
+func TestSelectSkipsZeroCountProcs(t *testing.T) {
+	prof := profileOf(
+		[]string{"a", "dead"},
+		[]uint64{100, 0},
+		[]uint64{0, 0},
+	)
+	sel := Select(prof, ByExecution, 1.0)
+	if sel["dead"] {
+		t.Fatal("never-executed procedure must not be selected")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	prof := profileOf(
+		[]string{"a", "b"},
+		[]uint64{750, 250},
+		[]uint64{0, 0},
+	)
+	cov := Coverage(prof, ByExecution, map[string]bool{"a": true})
+	if cov != 0.75 {
+		t.Fatalf("coverage = %f", cov)
+	}
+	if Coverage(prof, ByMisses, map[string]bool{"a": true}) != 0 {
+		t.Fatal("zero-metric coverage must be 0")
+	}
+}
+
+func TestProfileEndToEnd(t *testing.T) {
+	im, err := asm.Assemble(`
+        .text
+        .proc main
+main:   ori   $s0, $zero, 100
+loop:   jal   work
+        addiu $s0, $s0, -1
+        bgtz  $s0, loop
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+        .proc work
+work:   ori   $t0, $zero, 20
+w1:     addiu $t0, $t0, -1
+        bgtz  $t0, w1
+        jr    $ra
+        .endp
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.MaxInstr = 1_000_000
+	prof, stats, err := Profile(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instrs == 0 {
+		t.Fatal("no instructions profiled")
+	}
+	we, _ := prof.ByName("work")
+	me, _ := prof.ByName("main")
+	if we <= me {
+		t.Fatalf("work (%d) should out-execute main (%d)", we, me)
+	}
+	sel := Select(prof, ByExecution, 0.05)
+	if !sel["work"] {
+		t.Fatalf("exec selection must pick the hot loop: %v", sel)
+	}
+}
+
+// Property: selection is monotone — a larger coverage fraction never
+// deselects a procedure chosen at a smaller fraction.
+func TestQuickSelectionMonotone(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(30) + 2
+		names := make([]string, n)
+		execs := make([]uint64, n)
+		misses := make([]uint64, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("p%02d", i)
+			execs[i] = uint64(r.Intn(10000))
+			misses[i] = uint64(r.Intn(1000))
+		}
+		prof := profileOf(names, execs, misses)
+		a := float64(aRaw%101) / 100
+		b := float64(bRaw%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		for _, policy := range []Policy{ByExecution, ByMisses} {
+			small := Select(prof, policy, a)
+			large := Select(prof, policy, b)
+			for name := range small {
+				if !large[name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Register sets for generated instructions. The driver owns $s0..$s7, the
+// loop counter is $v1, $gp holds the data-area base, and $sp/$ra/$k0/$k1
+// keep their ABI roles, so generated code never touches them. $t9 is also
+// excluded: it holds the callee's code address at procedure entry, so
+// reading it would make results depend on code layout — and selective
+// compression deliberately re-lays code out.
+var wideRegs = []int{
+	isa.RegAT, isa.RegV0, isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3,
+	isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4, isa.RegT5,
+	isa.RegT6, isa.RegT7, isa.RegT8, isa.RegFP,
+}
+
+var narrowRegs = []int{
+	isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegA0, isa.RegA1,
+}
+
+var narrowImms = []int32{0, 1, 2, 4, 8, -1, 16, 12}
+
+const dataBytes = 8192
+
+// genWord produces one safe, side-effect-bounded instruction encoding.
+// narrow draws operands from small sets (for the shared pool, maximising
+// exact repeats); wide draws from the full sets (mostly unique encodings).
+func genWord(r *rand.Rand, narrow bool) uint32 {
+	regs := wideRegs
+	if narrow {
+		regs = narrowRegs
+	}
+	reg := func() int { return regs[r.Intn(len(regs))] }
+	// Immediates follow the skew of real code: small values dominate
+	// (array strides, struct offsets, small constants), with a tail of
+	// arbitrary 16-bit values. This is what makes the low halfwords of
+	// instructions far more repetitive than whole words — the property
+	// CodePack-style halfword coding exploits.
+	imm := func() uint32 {
+		if narrow {
+			return uint32(narrowImms[r.Intn(len(narrowImms))]) & 0xFFFF
+		}
+		switch k := r.Intn(100); {
+		case k < 45:
+			return uint32(r.Intn(16))
+		case k < 70:
+			return uint32(r.Intn(256))
+		case k < 90:
+			return uint32(r.Intn(4096))
+		default:
+			return uint32(r.Intn(1 << 16))
+		}
+	}
+	off := func(align uint32) uint32 {
+		if narrow {
+			return uint32(r.Intn(256)) &^ (align - 1)
+		}
+		switch k := r.Intn(100); {
+		case k < 50:
+			return uint32(r.Intn(128)) &^ (align - 1)
+		case k < 85:
+			return uint32(r.Intn(1024)) &^ (align - 1)
+		default:
+			return uint32(r.Intn(dataBytes)) &^ (align - 1)
+		}
+	}
+	switch k := r.Intn(100); {
+	case k < 20:
+		return isa.EncodeR(isa.FnADDU, reg(), reg(), reg(), 0)
+	case k < 28:
+		return isa.EncodeR(isa.FnSUBU, reg(), reg(), reg(), 0)
+	case k < 43:
+		return isa.EncodeI(isa.OpADDIU, reg(), reg(), imm())
+	case k < 48:
+		return isa.EncodeR(isa.FnOR, reg(), reg(), reg(), 0)
+	case k < 52:
+		return isa.EncodeR(isa.FnAND, reg(), reg(), reg(), 0)
+	case k < 56:
+		return isa.EncodeR(isa.FnXOR, reg(), reg(), reg(), 0)
+	case k < 62:
+		fn := []uint32{isa.FnSLL, isa.FnSRL, isa.FnSRA}[r.Intn(3)]
+		return isa.EncodeR(fn, 0, reg(), reg(), uint32(r.Intn(31)+1))
+	case k < 65:
+		return isa.EncodeI(isa.OpLUI, 0, reg(), imm())
+	case k < 70:
+		fn := []uint32{isa.FnSLT, isa.FnSLTU}[r.Intn(2)]
+		return isa.EncodeR(fn, reg(), reg(), reg(), 0)
+	case k < 84:
+		return isa.EncodeI(isa.OpLW, isa.RegGP, reg(), off(4))
+	case k < 89:
+		return isa.EncodeI(isa.OpLHU, isa.RegGP, reg(), off(2))
+	case k < 94:
+		return isa.EncodeI(isa.OpSW, isa.RegGP, reg(), off(4))
+	default:
+		op := []uint32{isa.OpORI, isa.OpANDI, isa.OpXORI}[r.Intn(3)]
+		return isa.EncodeI(op, reg(), reg(), imm())
+	}
+}
+
+// zipfIdx draws a heavily skewed index in [0,n): the head of the pool is
+// reused far more than the tail, giving the halfword-frequency skew that
+// CodePack-style coding exploits in real code.
+func zipfIdx(r *rand.Rand, n int) int {
+	u := r.Float64()
+	u2 := u * u
+	i := int(float64(n) * u2 * u2 * u)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Build generates the benchmark as a native program image.
+func Build(p Profile) (*program.Image, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+
+	pool := make([]uint32, p.PoolSize)
+	for i := range pool {
+		pool[i] = genWord(r, true)
+	}
+
+	b := asm.NewBuilder()
+
+	// Data: scratch area + the procedure table the driver calls through.
+	b.Section(program.SegData, program.DataBase, false)
+	b.Label("data_area")
+	b.Space(dataBytes)
+	b.Label("ptab")
+	for i := 0; i < p.TotalProcs; i++ {
+		b.WordSym(procName(i), 0)
+	}
+	b.Label("ptab_end")
+
+	b.Section(program.SegText, program.NativeBase, false)
+	emitDriver(b, p)
+	for i := 0; i < p.TotalProcs; i++ {
+		emitProc(b, p, r, pool, i)
+	}
+	b.SetEntry("main")
+	return b.Finish()
+}
+
+func validate(p Profile) error {
+	switch {
+	case p.TotalProcs < 2:
+		return fmt.Errorf("synth %s: need at least 2 procedures", p.Name)
+	case p.HotProcs < 1 || p.HotProcs >= p.TotalProcs:
+		return fmt.Errorf("synth %s: HotProcs %d out of range", p.Name, p.HotProcs)
+	case p.HotStride < 1, p.PhaseLen < 1, p.ColdEvery < 1, p.ColdCount < 1, p.Iters < 1:
+		return fmt.Errorf("synth %s: non-positive dynamic parameter", p.Name)
+	case p.ProcInstrsMin < 4 || p.ProcInstrsMax < p.ProcInstrsMin:
+		return fmt.Errorf("synth %s: bad procedure size range", p.Name)
+	case p.PoolSize < 1:
+		return fmt.Errorf("synth %s: empty pool", p.Name)
+	case p.CommonFraction < 0 || p.CommonFraction > 1:
+		return fmt.Errorf("synth %s: CommonFraction out of range", p.Name)
+	}
+	return nil
+}
+
+func procName(i int) string { return fmt.Sprintf("p%04d", i) }
+
+// emitDriver generates main: phased calls into the hot window of the
+// procedure table, periodic cold sweeps, a running checksum in $s7, and a
+// final hex print + exit.
+func emitDriver(b *asm.Builder, p Profile) {
+	b.Proc("main")
+	b.La(isa.RegGP, "data_area", 0)
+	b.La(isa.RegS2, "ptab", 0) // hot window base
+	b.La(isa.RegS3, "ptab", 0) // cold sweep pointer
+	b.Li(isa.RegS0, uint32(p.Iters))
+	b.Li(isa.RegS1, uint32(p.PhaseLen))
+	b.Li(isa.RegS4, uint32(p.ColdEvery))
+	b.Move(isa.RegS7, isa.RegZero)
+
+	b.Label("outer")
+	// Hot calls, unrolled across the window.
+	for i := 0; i < p.HotProcs; i++ {
+		b.Mem("lw", isa.RegT9, int32(4*i), isa.RegS2)
+		b.JALR(isa.RegRA, isa.RegT9)
+		b.R3("xor", isa.RegS7, isa.RegS7, isa.RegV0)
+	}
+	// Phase rotation.
+	b.Imm("addiu", isa.RegS1, isa.RegS1, -1)
+	b.Branch1("bgtz", isa.RegS1, "nophase")
+	b.Li(isa.RegS1, uint32(p.PhaseLen))
+	b.Imm("addiu", isa.RegS2, isa.RegS2, int32(4*p.HotStride))
+	b.La(isa.RegT8, "ptab", int32(4*(p.TotalProcs-p.HotProcs)))
+	b.R3("sltu", isa.RegT9, isa.RegT8, isa.RegS2)
+	b.Branch2("beq", isa.RegT9, isa.RegZero, "nophase")
+	b.La(isa.RegS2, "ptab", 0)
+	b.Label("nophase")
+	// Cold sweep.
+	b.Imm("addiu", isa.RegS4, isa.RegS4, -1)
+	b.Branch1("bgtz", isa.RegS4, "nocold")
+	b.Li(isa.RegS4, uint32(p.ColdEvery))
+	b.Li(isa.RegS6, uint32(p.ColdCount))
+	b.Label("coldloop")
+	b.Mem("lw", isa.RegT9, 0, isa.RegS3)
+	b.JALR(isa.RegRA, isa.RegT9)
+	b.R3("xor", isa.RegS7, isa.RegS7, isa.RegV0)
+	b.Imm("addiu", isa.RegS3, isa.RegS3, 4)
+	b.La(isa.RegT8, "ptab_end", 0)
+	b.Branch2("bne", isa.RegS3, isa.RegT8, "coldnowrap")
+	b.La(isa.RegS3, "ptab", 0)
+	b.Label("coldnowrap")
+	b.Imm("addiu", isa.RegS6, isa.RegS6, -1)
+	b.Branch1("bgtz", isa.RegS6, "coldloop")
+	b.Label("nocold")
+	// Outer loop control.
+	b.Imm("addiu", isa.RegS0, isa.RegS0, -1)
+	b.Branch1("bgtz", isa.RegS0, "outer")
+	// Print the checksum and exit 0.
+	b.Move(isa.RegA0, isa.RegS7)
+	b.Li(isa.RegV0, isa.SysPrintHex)
+	b.Syscall()
+	b.Move(isa.RegA0, isa.RegZero)
+	b.Li(isa.RegV0, isa.SysExit)
+	b.Syscall()
+	b.EndProc()
+}
+
+// emitProc generates one leaf procedure: a straight-line body of pool and
+// fresh instructions, optionally repeated LoopIters times ($v1 counter).
+func emitProc(b *asm.Builder, p Profile, r *rand.Rand, pool []uint32, i int) {
+	name := procName(i)
+	b.Proc(name)
+	k := p.ProcInstrsMin
+	if p.ProcInstrsMax > p.ProcInstrsMin {
+		k += r.Intn(p.ProcInstrsMax - p.ProcInstrsMin)
+	}
+	loop := p.LoopIters > 1
+	if loop {
+		b.Imm("ori", isa.RegV1, isa.RegZero, int32(p.LoopIters))
+		b.Label(name + "_loop")
+	}
+	for j := 0; j < k; j++ {
+		if r.Float64() < p.CommonFraction {
+			b.Raw(pool[zipfIdx(r, len(pool))])
+		} else {
+			b.Raw(genWord(r, false))
+		}
+	}
+	if loop {
+		b.Imm("addiu", isa.RegV1, isa.RegV1, -1)
+		b.Branch1("bgtz", isa.RegV1, name+"_loop")
+	}
+	b.JR(isa.RegRA)
+	b.EndProc()
+}

@@ -1,0 +1,135 @@
+// Package synth generates the benchmark programs used by the experiments:
+// deterministic stand-ins for the paper's SPEC CINT95 and MediaBench
+// suites (cc1, ghostscript, go, ijpeg, mpeg2enc, pegwit, perl, vortex).
+//
+// Real 1995 UNIX binaries cannot be rebuilt here, so each stand-in is a
+// synthetic program whose two experimentally relevant properties are
+// controlled directly:
+//
+//   - the static instruction-repetition distribution, which determines the
+//     compression ratios (dictionary ratio = 0.5 + unique/total), tuned
+//     via a shared instruction pool and the CommonFraction parameter; and
+//   - the instruction-cache behaviour, tuned via the hot working-set size
+//     relative to the 16KB I-cache, the loopiness of procedures, phased
+//     working-set rotation and periodic cold-code sweeps.
+//
+// Everything downstream — compressors, decompression handlers, selection
+// policies, the timing model — runs unmodified on these programs.
+package synth
+
+// Profile parameterises one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Static shape.
+	TotalProcs     int // number of procedures
+	ProcInstrsMin  int // procedure body size range (instructions)
+	ProcInstrsMax  int
+	PoolSize       int     // shared instruction pool size
+	CommonFraction float64 // probability a body instruction comes from the pool
+
+	// Dynamic behaviour.
+	LoopIters int // body repetitions per call: loop-orientedness
+	HotProcs  int // procedures in the hot working set
+	PhaseLen  int // driver iterations before the hot set rotates
+	HotStride int // procedures the hot set advances per rotation
+	ColdEvery int // driver iterations between cold-code sweeps
+	ColdCount int // procedures touched per cold sweep
+	Iters     int // driver iterations (controls dynamic instructions)
+}
+
+// Scale multiplies the dynamic length of every benchmark (Iters) without
+// changing its cache behaviour; tests use Scale < 1 for speed.
+func (p Profile) Scale(f float64) Profile {
+	n := int(float64(p.Iters) * f)
+	if n < 2 {
+		n = 2
+	}
+	p.Iters = n
+	return p
+}
+
+// Benchmarks returns the eight paper stand-ins. The commented figures are
+// the paper's Table 2 values the profiles were calibrated against
+// (original size, dictionary ratio, 16KB miss ratio).
+func Benchmarks() []Profile {
+	return []Profile{
+		// cc1: 1.08MB, 65.4%, 2.93% — big, branchy, thrashes the I-cache.
+		{
+			Name: "cc1", Seed: 101,
+			TotalProcs: 240, ProcInstrsMin: 150, ProcInstrsMax: 380,
+			PoolSize: 3900, CommonFraction: 0.872,
+			LoopIters: 4, HotProcs: 23, PhaseLen: 12, HotStride: 9,
+			ColdEvery: 11, ColdCount: 3, Iters: 56,
+		},
+		// ghostscript: 1.10MB, 69.4%, 0.04% — big binary, compact hot set.
+		{
+			Name: "ghostscript", Seed: 102,
+			TotalProcs: 260, ProcInstrsMin: 150, ProcInstrsMax: 350,
+			PoolSize: 5000, CommonFraction: 0.832,
+			LoopIters: 6, HotProcs: 6, PhaseLen: 60, HotStride: 2,
+			ColdEvery: 25, ColdCount: 2, Iters: 150,
+		},
+		// go: 310KB, 69.6%, 2.05% — working set just above the cache.
+		{
+			Name: "go", Seed: 103,
+			TotalProcs: 130, ProcInstrsMin: 140, ProcInstrsMax: 320,
+			PoolSize: 2350, CommonFraction: 0.850,
+			LoopIters: 4, HotProcs: 21, PhaseLen: 14, HotStride: 6,
+			ColdEvery: 13, ColdCount: 2, Iters: 64,
+		},
+		// ijpeg: 198KB, 77.2%, 0.07% — loop-oriented media kernel.
+		{
+			Name: "ijpeg", Seed: 104,
+			TotalProcs: 60, ProcInstrsMin: 200, ProcInstrsMax: 400,
+			PoolSize: 1960, CommonFraction: 0.789,
+			LoopIters: 30, HotProcs: 5, PhaseLen: 400, HotStride: 1,
+			ColdEvery: 4, ColdCount: 3, Iters: 26,
+		},
+		// mpeg2enc: 118KB, 82.3%, 0.01% — tight encoder loops.
+		{
+			Name: "mpeg2enc", Seed: 105,
+			TotalProcs: 40, ProcInstrsMin: 200, ProcInstrsMax: 400,
+			PoolSize: 1550, CommonFraction: 0.764,
+			LoopIters: 60, HotProcs: 4, PhaseLen: 1000, HotStride: 1,
+			ColdEvery: 4, ColdCount: 2, Iters: 20,
+		},
+		// pegwit: 88KB, 79.3%, 0.01% — small crypto loops; misses come
+		// from periodic cold-code sweeps, not the loops (the structure
+		// behind the paper's miss-based-selection win, §5.3).
+		{
+			Name: "pegwit", Seed: 106,
+			TotalProcs: 44, ProcInstrsMin: 150, ProcInstrsMax: 250,
+			PoolSize: 1050, CommonFraction: 0.815,
+			LoopIters: 25, HotProcs: 4, PhaseLen: 1000, HotStride: 1,
+			ColdEvery: 5, ColdCount: 3, Iters: 60,
+		},
+		// perl: 267KB, 73.7%, 1.62% — interpreter: moderate thrash.
+		{
+			Name: "perl", Seed: 107,
+			TotalProcs: 110, ProcInstrsMin: 140, ProcInstrsMax: 300,
+			PoolSize: 2830, CommonFraction: 0.822,
+			LoopIters: 5, HotProcs: 23, PhaseLen: 16, HotStride: 5,
+			ColdEvery: 17, ColdCount: 2, Iters: 70,
+		},
+		// vortex: 495KB, 65.8%, 2.05% — database: large, cc1-like.
+		{
+			Name: "vortex", Seed: 108,
+			TotalProcs: 190, ProcInstrsMin: 150, ProcInstrsMax: 330,
+			PoolSize: 2850, CommonFraction: 0.878,
+			LoopIters: 5, HotProcs: 25, PhaseLen: 13, HotStride: 8,
+			ColdEvery: 15, ColdCount: 2, Iters: 60,
+		},
+	}
+}
+
+// ByName returns the named benchmark profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

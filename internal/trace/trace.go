@@ -1,0 +1,91 @@
+// Package trace provides execution tracing for the simulator: a
+// fixed-size ring of the most recently committed instructions, rendered
+// as disassembly with procedure context. It is the debugging companion
+// for handler development — when a decompression handler misbehaves, the
+// ring shows the exact instruction sequence leading to the failure.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Entry is one committed instruction.
+type Entry struct {
+	PC      uint32
+	Instr   uint32
+	Handler bool
+}
+
+// Ring records the last N committed instructions.
+type Ring struct {
+	buf   []Entry
+	next  int
+	count uint64
+	img   *program.Image
+}
+
+// NewRing builds a ring of n entries over the given image (used for
+// procedure names in rendering; may be nil).
+func NewRing(n int, im *program.Image) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Entry, n), img: im}
+}
+
+// Attach registers the ring as the CPU's tracer.
+func (r *Ring) Attach(c *cpu.CPU) {
+	c.Trace = func(pc, instr uint32, handler bool) {
+		r.buf[r.next] = Entry{PC: pc, Instr: instr, Handler: handler}
+		r.next = (r.next + 1) % len(r.buf)
+		r.count++
+	}
+}
+
+// Count returns the total number of instructions observed.
+func (r *Ring) Count() uint64 { return r.count }
+
+// Entries returns the recorded entries, oldest first.
+func (r *Ring) Entries() []Entry {
+	n := len(r.buf)
+	if r.count < uint64(n) {
+		n = int(r.count)
+		return append([]Entry(nil), r.buf[:n]...)
+	}
+	out := make([]Entry, 0, n)
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump renders the ring, oldest first, with procedure annotations and a
+// marker on handler instructions.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	lastProc := ""
+	for _, e := range r.Entries() {
+		proc := ""
+		if r.img != nil {
+			if p := r.img.ProcAt(e.PC); p != nil {
+				proc = p.Name
+			} else if e.Handler {
+				proc = "<handler>"
+			}
+		}
+		if proc != lastProc && proc != "" {
+			fmt.Fprintf(&b, "%s:\n", proc)
+			lastProc = proc
+		}
+		mark := " "
+		if e.Handler {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s %08x  %s\n", mark, e.PC, isa.Disassemble(e.PC, e.Instr))
+	}
+	return b.String()
+}

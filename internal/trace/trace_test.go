@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+const src = `
+        .text
+        .proc main
+main:   ori   $t0, $zero, 3
+loop:   addiu $t0, $t0, -1
+        bgtz  $t0, loop
+        jal   helper
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+        .proc helper
+helper: jr    $ra
+        .endp
+`
+
+func runTraced(t *testing.T, n int) *Ring {
+	t.Helper()
+	im, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cpu.New(cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cfg.MaxInstr = 10000
+	r := NewRing(n, im)
+	r.Attach(c)
+	if err := c.Load(im); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingRecordsAllWhenBigEnough(t *testing.T) {
+	r := runTraced(t, 1000)
+	// main: 1 + 3*2 + 1(jal) + helper jr + move + ori + syscall = 12
+	if r.Count() != 12 {
+		t.Fatalf("count = %d, want 12", r.Count())
+	}
+	es := r.Entries()
+	if len(es) != 12 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	if es[0].PC != 0x400000 {
+		t.Fatalf("first pc = %#x", es[0].PC)
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	r := runTraced(t, 4)
+	es := r.Entries()
+	if len(es) != 4 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	if r.Count() != 12 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	// The last recorded instruction must be the final syscall.
+	last := es[len(es)-1]
+	if got := last.PC; got == 0x400000 {
+		t.Fatalf("ring did not wrap: last pc %#x", got)
+	}
+	// Entries must be in commit order.
+	dump := r.Dump()
+	if !strings.Contains(dump, "syscall") {
+		t.Fatalf("dump missing final syscall:\n%s", dump)
+	}
+}
+
+func TestDumpAnnotatesProcedures(t *testing.T) {
+	r := runTraced(t, 1000)
+	dump := r.Dump()
+	for _, want := range []string{"main:", "helper:", "jr $ra"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestTinyRing(t *testing.T) {
+	r := runTraced(t, 0) // clamps to 1
+	if len(r.Entries()) != 1 {
+		t.Fatal("ring of zero should clamp to one")
+	}
+}

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+func buildPair(t *testing.T, opts core.Options) (*program.Image, *program.Image) {
+	t.Helper()
+	p, _ := synth.ByName("pegwit")
+	im, err := synth.Build(p.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compress(im, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, res.Image
+}
+
+func cfg() cpu.Config {
+	c := cpu.DefaultConfig()
+	c.MaxInstr = 100_000_000
+	return c
+}
+
+func TestLockstepEquivalentSchemes(t *testing.T) {
+	for _, opts := range []core.Options{
+		{Scheme: program.SchemeDict, ShadowRF: true},
+		{Scheme: program.SchemeCodePack, ShadowRF: true},
+		{Scheme: program.SchemeProcDict, ShadowRF: true},
+	} {
+		nat, comp := buildPair(t, opts)
+		if err := Lockstep(nat, comp, cfg(), 0); err != nil {
+			t.Fatalf("%s: %v", opts.Scheme, err)
+		}
+	}
+}
+
+func TestLockstepWithBoundedSteps(t *testing.T) {
+	nat, comp := buildPair(t, core.Options{Scheme: program.SchemeDict, ShadowRF: true})
+	if err := Lockstep(nat, comp, cfg(), 5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockstepDetectsCorruptedDictionary(t *testing.T) {
+	nat, comp := buildPair(t, core.Options{Scheme: program.SchemeDict, ShadowRF: true})
+	// Corrupt one dictionary entry: the decompressor will materialise a
+	// wrong instruction and the lockstep must catch it.
+	dict := comp.Segment(program.SegDict)
+	dict.SetWord(dict.Base+40, dict.Word(dict.Base+40)^0x00210000)
+	err := Lockstep(nat, comp, cfg(), 0)
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+	var d *Divergence
+	if de, ok := err.(*Divergence); ok {
+		d = de
+	}
+	if d == nil {
+		// A corrupted instruction may also make the simulator fault —
+		// that is an acceptable detection too, but it must not be nil.
+		if !strings.Contains(err.Error(), "verify:") {
+			t.Fatalf("unexpected error shape: %v", err)
+		}
+		return
+	}
+	if d.What == "" {
+		t.Fatal("empty divergence description")
+	}
+}
+
+func TestLockstepDetectsClobberingHandler(t *testing.T) {
+	// The no-shadow-RF copy handler clobbers registers; lockstep must
+	// pinpoint the first corrupted register.
+	nat, comp := buildPair(t, core.Options{Scheme: core.SchemeCopy})
+	err := Lockstep(nat, comp, cfg(), 0)
+	if err == nil {
+		t.Fatal("register clobbering not detected")
+	}
+	if !strings.Contains(err.Error(), "register") && !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestEquivalentWrapper(t *testing.T) {
+	nat, comp := buildPair(t, core.Options{Scheme: program.SchemeDict, ShadowRF: true})
+	ok, msg := Equivalent(nat, comp, cfg(), 0)
+	if !ok || msg != "equivalent" {
+		t.Fatalf("ok=%v msg=%q", ok, msg)
+	}
+	dict := comp.Segment(program.SegDict)
+	dict.SetWord(dict.Base+16, 0)
+	ok, msg = Equivalent(nat, comp, cfg(), 0)
+	if ok || !strings.Contains(msg, "NOT equivalent") {
+		t.Fatalf("ok=%v msg=%q", ok, msg)
+	}
+}
+
+func TestSelfLockstep(t *testing.T) {
+	p, _ := synth.ByName("mpeg2enc")
+	im, err := synth.Build(p.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Lockstep(im, im, cfg(), 0); err != nil {
+		t.Fatalf("image must be equivalent to itself: %v", err)
+	}
+}

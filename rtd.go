@@ -1,0 +1,224 @@
+package rtd
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/compress/dict"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/decomp"
+	"repro/internal/minic"
+	"repro/internal/placement"
+	"repro/internal/program"
+	"repro/internal/selective"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// Image is a linked CLR32 program: segments, symbols, the procedure table
+// and (for compressed programs) the compressed-region geometry.
+type Image = program.Image
+
+// Scheme selects a compression algorithm.
+type Scheme = program.Scheme
+
+// Compression schemes.
+const (
+	// SchemeDict is the paper's dictionary compression: 16-bit indices
+	// into a dictionary of unique instruction words (§3.1).
+	SchemeDict = program.SchemeDict
+	// SchemeCodePack is the CodePack-style coder: variable-length
+	// halfword codes in 16-instruction groups with a mapping table (§3.2).
+	SchemeCodePack = program.SchemeCodePack
+	// SchemeProcDict uses the dictionary codec at procedure granularity
+	// (whole procedures decompressed per miss), modelling the
+	// procedure-based scheme the paper compares against (§2, §5.2).
+	SchemeProcDict = program.SchemeProcDict
+	// SchemeCopy is a null decompressor that copies lines from a backed
+	// golden image: it isolates the exception + swic mechanism overhead.
+	SchemeCopy = core.SchemeCopy
+)
+
+// Options controls Compress. See core.Options.
+type Options = core.Options
+
+// IndexBits selects the dictionary codeword width.
+type IndexBits = dict.IndexBits
+
+// Dictionary codeword widths: the paper's 16-bit indices, and an 8-bit
+// ablation for programs with at most 256 unique instructions.
+const (
+	Index16 = dict.Index16
+	Index8  = dict.Index8
+)
+
+// Result is a compressed program plus its size accounting.
+type Result = core.Result
+
+// MachineConfig describes the simulated processor (paper Table 1).
+type MachineConfig = cpu.Config
+
+// Stats are the simulator's run measurements.
+type Stats = cpu.Stats
+
+// ProcProfile holds per-procedure execution and miss counts.
+type ProcProfile = cpu.ProcProfile
+
+// Policy is a selective-compression ranking policy.
+type Policy = selective.Policy
+
+// Selection policies (paper §3.3).
+const (
+	ByExecution = selective.ByExecution
+	ByMisses    = selective.ByMisses
+)
+
+// BenchmarkProfile parameterises one synthetic benchmark program.
+type BenchmarkProfile = synth.Profile
+
+// Assemble translates CLR32 assembly source into a native program image.
+func Assemble(src string) (*Image, error) { return asm.Assemble(src) }
+
+// CompileMiniC compiles MiniC source (a small C-like language; see
+// internal/minic) into a native program image. Each function becomes a
+// procedure, so compiled code works with profiling, selective compression
+// and placement like any other program.
+func CompileMiniC(src string) (*Image, error) { return minic.Compile(src) }
+
+// Compress rewrites a native image into a compressed image with the
+// matching software decompression handler installed (the paper's §3).
+func Compress(im *Image, opts Options) (*Result, error) { return core.Compress(im, opts) }
+
+// DefaultMachine returns the paper's baseline machine (Table 1): 1-wide
+// in-order core, 16KB/32B/2-way I-cache, 8KB/16B/2-way D-cache, 64-bit
+// memory bus with 10-cycle first access.
+func DefaultMachine() MachineConfig { return cpu.DefaultConfig() }
+
+// RunResult is the outcome of one simulation.
+type RunResult struct {
+	ExitCode int32
+	Output   string
+	Stats    Stats
+}
+
+// Slowdown returns this run's cycles relative to a baseline run.
+func (r RunResult) Slowdown(baseline RunResult) float64 {
+	if baseline.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles) / float64(baseline.Stats.Cycles)
+}
+
+// MissRatio returns non-speculative I-cache misses per committed
+// instruction.
+func (r RunResult) MissRatio() float64 {
+	if r.Stats.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Stats.IMisses()) / float64(r.Stats.Instrs)
+}
+
+// Run executes the image to completion on a machine with the given
+// configuration.
+func Run(im *Image, cfg MachineConfig) (RunResult, error) {
+	r, _, err := runWith(im, cfg, false)
+	return r, err
+}
+
+// ProfiledRun executes the image and also collects the per-procedure
+// profile used by selective compression.
+func ProfiledRun(im *Image, cfg MachineConfig) (RunResult, *ProcProfile, error) {
+	return runWith(im, cfg, true)
+}
+
+func runWith(im *Image, cfg MachineConfig, profiled bool) (RunResult, *ProcProfile, error) {
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 2_000_000_000
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	var prof *ProcProfile
+	if profiled {
+		prof = cpu.NewProcProfile(im)
+		c.Prof = prof
+	}
+	var out bytes.Buffer
+	c.Out = &out
+	if err := c.Load(im); err != nil {
+		return RunResult{}, nil, err
+	}
+	code, err := c.Run()
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	return RunResult{ExitCode: code, Output: out.String(), Stats: c.Stats}, prof, nil
+}
+
+// Select returns the procedures to keep as native code: the top-ranked
+// ones under the policy until they cover fraction of the profile metric.
+func Select(prof *ProcProfile, policy Policy, fraction float64) map[string]bool {
+	return selective.Select(prof, policy, fraction)
+}
+
+// SelectionThresholds are the coverage fractions the paper evaluates.
+func SelectionThresholds() []float64 {
+	return append([]float64(nil), selective.Thresholds...)
+}
+
+// PlacementOrder computes a profile-guided procedure layout order
+// (Pettis–Hansen chain merging over the call-affinity graph). Pass it as
+// Options.Order to combine code placement with compression — the unified
+// framework the paper proposes as future work (§5.3).
+func PlacementOrder(prof *ProcProfile) []string {
+	return placement.Order(prof)
+}
+
+// Benchmarks returns the profiles of the eight benchmark stand-ins
+// (cc1, ghostscript, go, ijpeg, mpeg2enc, pegwit, perl, vortex).
+func Benchmarks() []BenchmarkProfile { return synth.Benchmarks() }
+
+// BuildBenchmark generates the named benchmark as a native image.
+func BuildBenchmark(name string) (*Image, error) {
+	p, ok := synth.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("rtd: unknown benchmark %q", name)
+	}
+	return synth.Build(p)
+}
+
+// BuildBenchmarkScaled generates the named benchmark with its dynamic
+// length multiplied by scale (for quick runs).
+func BuildBenchmarkScaled(name string, scale float64) (*Image, error) {
+	p, ok := synth.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("rtd: unknown benchmark %q", name)
+	}
+	return synth.Build(p.Scale(scale))
+}
+
+// HandlerSource returns the CLR32 assembly of the software decompressor
+// for the scheme (the paper's Figure 2 for SchemeDict).
+func HandlerSource(scheme Scheme, shadowRF bool) (string, error) {
+	return decomp.Source(decomp.Variant{Scheme: scheme, ShadowRF: shadowRF})
+}
+
+// Disassemble renders the image's code segment as assembly, one
+// instruction per line, for inspection and debugging.
+func Disassemble(im *Image) string {
+	return program.DisassembleImage(im)
+}
+
+// Verify runs two images (typically a native program and its compressed
+// rewrite) in lockstep and returns nil when they are architecturally
+// equivalent, or an error describing the first divergence. maxSteps
+// bounds the comparison (0 = run to completion).
+func Verify(a, b *Image, cfg MachineConfig, maxSteps uint64) error {
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 2_000_000_000
+	}
+	return verify.Lockstep(a, b, cfg, maxSteps)
+}

@@ -1,0 +1,147 @@
+package rtd_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	rtd "repro"
+)
+
+const demo = `
+        .data
+msg:    .asciiz "sum="
+        .text
+        .proc main
+main:   la    $a0, msg
+        ori   $v0, $zero, 4
+        syscall
+        ori   $s0, $zero, 100
+        move  $s1, $zero
+loop:   addu  $s1, $s1, $s0
+        addiu $s0, $s0, -1
+        bgtz  $s0, loop
+        move  $a0, $s1
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+`
+
+func TestAssembleCompressRun(t *testing.T) {
+	im, err := rtd.Assemble(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := rtd.Run(im, rtd.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.ExitCode != 0 || nat.Output != "sum=5050" {
+		t.Fatalf("native run: code=%d out=%q", nat.ExitCode, nat.Output)
+	}
+	for _, scheme := range []rtd.Scheme{rtd.SchemeDict, rtd.SchemeCodePack, rtd.SchemeCopy} {
+		res, err := rtd.Compress(im, rtd.Options{Scheme: scheme, ShadowRF: true})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		got, err := rtd.Run(res.Image, rtd.DefaultMachine())
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if got.Output != nat.Output || got.ExitCode != nat.ExitCode {
+			t.Fatalf("%s diverged: %q", scheme, got.Output)
+		}
+		if got.Slowdown(nat) < 1 {
+			t.Fatalf("%s: compressed faster than native?", scheme)
+		}
+	}
+}
+
+func TestBenchmarksAPI(t *testing.T) {
+	if len(rtd.Benchmarks()) != 8 {
+		t.Fatal("want 8 benchmarks")
+	}
+	im, err := rtd.BuildBenchmarkScaled("pegwit", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, prof, err := rtd.ProfiledRun(im, rtd.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ExitCode != 0 || out.Stats.Instrs == 0 {
+		t.Fatalf("bad run %+v", out.Stats)
+	}
+	sel := rtd.Select(prof, rtd.ByExecution, 0.10)
+	if len(sel) == 0 {
+		t.Fatal("selection empty")
+	}
+	if _, err := rtd.BuildBenchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if len(rtd.SelectionThresholds()) != 5 {
+		t.Fatal("want the paper's five thresholds")
+	}
+}
+
+func TestHandlerSource(t *testing.T) {
+	src, err := rtd.HandlerSource(rtd.SchemeDict, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "swic") || !strings.Contains(src, "iret") {
+		t.Fatal("handler source incomplete")
+	}
+	if _, err := rtd.HandlerSource("bogus", false); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	im, err := rtd.Assemble(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rtd.Disassemble(im)
+	for _, want := range []string{"main:", "syscall", "addu $s1, $s1, $s0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q", want)
+		}
+	}
+}
+
+// ExampleAssemble demonstrates the full assemble→compress→simulate flow.
+func ExampleAssemble() {
+	im, _ := rtd.Assemble(`
+        .text
+        .proc main
+main:   ori   $a0, $zero, 42
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+`)
+	res, _ := rtd.Compress(im, rtd.Options{Scheme: rtd.SchemeDict, ShadowRF: true})
+	out, _ := rtd.Run(res.Image, rtd.DefaultMachine())
+	fmt.Println(out.Output)
+	// Output: 42
+}
+
+func TestVerifyAPI(t *testing.T) {
+	im, err := rtd.Assemble(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rtd.Compress(im, rtd.Options{Scheme: rtd.SchemeDict, ShadowRF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rtd.Verify(im, res.Image, rtd.DefaultMachine(), 0); err != nil {
+		t.Fatalf("equivalent images reported divergent: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+# Bitwise CRC-32 (IEEE, reflected) over a string, printed as hex.
+# expect: crc32=0x414fa339
+        .data
+input:  .asciiz "The quick brown fox jumps over the lazy dog"
+msg:    .asciiz "crc32="
+        .text
+        .proc main
+main:   la    $s0, input
+        li    $s1, 0xFFFFFFFF        # crc
+bloop:  lbu   $t0, 0($s0)
+        beq   $t0, $zero, fini
+        xor   $s1, $s1, $t0
+        ori   $s2, $zero, 8          # bit counter
+xloop:  andi  $t1, $s1, 1
+        srl   $s1, $s1, 1
+        beq   $t1, $zero, nox
+        li    $t2, 0xEDB88320
+        xor   $s1, $s1, $t2
+nox:    addiu $s2, $s2, -1
+        bgtz  $s2, xloop
+        addiu $s0, $s0, 1
+        b     bloop
+fini:   nor   $s1, $s1, $zero        # final xor with 0xFFFFFFFF
+        la    $a0, msg
+        ori   $v0, $zero, 4
+        syscall
+        move  $a0, $s1
+        ori   $v0, $zero, 34
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp

@@ -1,0 +1,78 @@
+# 3x3 integer matrix multiply; print the trace of A*B.
+# expect: trace=189
+        .data
+A:      .word 1, 2, 3, 4, 5, 6, 7, 8, 9
+B:      .word 9, 8, 7, 6, 5, 4, 3, 2, 1
+C:      .space 36
+msg:    .asciiz "trace="
+        .text
+        .proc main
+main:   move  $s0, $zero             # i
+iloop:  slti  $t0, $s0, 3
+        beq   $t0, $zero, trace
+        move  $s1, $zero             # j
+jloop:  slti  $t0, $s1, 3
+        beq   $t0, $zero, inext
+        move  $s2, $zero             # k
+        move  $s3, $zero             # acc
+kloop:  slti  $t0, $s2, 3
+        beq   $t0, $zero, store
+        # A[i][k]
+        ori   $t1, $zero, 3
+        mult  $s0, $t1
+        mflo  $t1
+        addu  $t1, $t1, $s2
+        sll   $t1, $t1, 2
+        la    $t2, A
+        addu  $t2, $t2, $t1
+        lw    $t3, 0($t2)
+        # B[k][j]
+        ori   $t1, $zero, 3
+        mult  $s2, $t1
+        mflo  $t1
+        addu  $t1, $t1, $s1
+        sll   $t1, $t1, 2
+        la    $t2, B
+        addu  $t2, $t2, $t1
+        lw    $t4, 0($t2)
+        mult  $t3, $t4
+        mflo  $t5
+        addu  $s3, $s3, $t5
+        addiu $s2, $s2, 1
+        b     kloop
+store:  ori   $t1, $zero, 3
+        mult  $s0, $t1
+        mflo  $t1
+        addu  $t1, $t1, $s1
+        sll   $t1, $t1, 2
+        la    $t2, C
+        addu  $t2, $t2, $t1
+        sw    $s3, 0($t2)
+        addiu $s1, $s1, 1
+        b     jloop
+inext:  addiu $s0, $s0, 1
+        b     iloop
+trace:  move  $s4, $zero
+        move  $s0, $zero
+tloop:  slti  $t0, $s0, 3
+        beq   $t0, $zero, out
+        ori   $t1, $zero, 4          # C[i][i]: (3i+i)*4 = 16i
+        mult  $s0, $t1
+        mflo  $t1
+        sll   $t1, $t1, 2
+        la    $t2, C
+        addu  $t2, $t2, $t1
+        lw    $t3, 0($t2)
+        addu  $s4, $s4, $t3
+        addiu $s0, $s0, 1
+        b     tloop
+out:    la    $a0, msg
+        ori   $v0, $zero, 4
+        syscall
+        move  $a0, $s4
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp

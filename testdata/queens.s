@@ -1,0 +1,66 @@
+# N-queens by recursive backtracking (N=6): count solutions.
+# expect: 6-queens: 4
+        .data
+cols:   .space 32                    # column occupancy per row (6 words)
+msg:    .asciiz "6-queens: "
+        .text
+        .proc main
+main:   move  $s0, $zero             # solution count -> kept by solve in s0
+        move  $a0, $zero             # row 0
+        jal   solve
+        la    $a0, msg
+        ori   $v0, $zero, 4
+        syscall
+        move  $a0, $s0
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+
+# solve(row in a0); increments $s0 per solution; uses cols[] for state
+        .proc solve
+solve:  slti  $t0, $a0, 6
+        bne   $t0, $zero, try
+        addiu $s0, $s0, 1            # row == 6: a full placement
+        jr    $ra
+try:    addiu $sp, $sp, -16
+        sw    $ra, 12($sp)
+        sw    $a0, 8($sp)            # row
+        sw    $zero, 4($sp)          # col
+tloop:  lw    $t1, 4($sp)            # col
+        slti  $t0, $t1, 6
+        beq   $t0, $zero, tdone
+        # check safety against rows 0..row-1
+        lw    $t2, 8($sp)            # row
+        move  $t3, $zero             # r
+safe:   slt   $t0, $t3, $t2
+        beq   $t0, $zero, place
+        la    $t4, cols
+        sll   $t5, $t3, 2
+        addu  $t4, $t4, $t5
+        lw    $t4, 0($t4)            # c = cols[r]
+        beq   $t4, $t1, unsafe       # same column
+        subu  $t5, $t2, $t3          # row - r
+        subu  $t6, $t1, $t4          # col - c
+        beq   $t5, $t6, unsafe       # same diagonal
+        subu  $t7, $t4, $t1          # c - col
+        beq   $t5, $t7, unsafe       # other diagonal
+        addiu $t3, $t3, 1
+        b     safe
+place:  la    $t4, cols
+        lw    $t2, 8($sp)
+        sll   $t5, $t2, 2
+        addu  $t4, $t4, $t5
+        sw    $t1, 0($t4)            # cols[row] = col
+        addiu $a0, $t2, 1
+        jal   solve
+unsafe: lw    $t1, 4($sp)
+        addiu $t1, $t1, 1
+        sw    $t1, 4($sp)
+        b     tloop
+tdone:  lw    $ra, 12($sp)
+        addiu $sp, $sp, 16
+        jr    $ra
+        .endp

@@ -1,0 +1,49 @@
+# Sieve of Eratosthenes: count the primes below 100.
+# expect: primes<100: 25
+        .data
+flags:  .space 100
+msg:    .asciiz "primes<100: "
+        .text
+        .proc main
+main:   la    $s0, flags
+        # mark 0 and 1 composite
+        ori   $t0, $zero, 1
+        sb    $t0, 0($s0)
+        sb    $t0, 1($s0)
+        ori   $s1, $zero, 2          # candidate p
+outer:  slti  $t0, $s1, 10           # p*p < 100 while p < 10
+        beq   $t0, $zero, count
+        addu  $t1, $s0, $s1
+        lbu   $t1, 0($t1)
+        bne   $t1, $zero, nextp      # composite: skip
+        mult  $s1, $s1
+        mflo  $t2                    # m = p*p
+mark:   slti  $t3, $t2, 100
+        beq   $t3, $zero, nextp
+        addu  $t4, $s0, $t2
+        ori   $t5, $zero, 1
+        sb    $t5, 0($t4)
+        addu  $t2, $t2, $s1
+        b     mark
+nextp:  addiu $s1, $s1, 1
+        b     outer
+count:  move  $s2, $zero             # prime counter
+        move  $s3, $zero             # index
+cloop:  slti  $t0, $s3, 100
+        beq   $t0, $zero, done
+        addu  $t1, $s0, $s3
+        lbu   $t1, 0($t1)
+        bne   $t1, $zero, cnext
+        addiu $s2, $s2, 1
+cnext:  addiu $s3, $s3, 1
+        b     cloop
+done:   la    $a0, msg
+        ori   $v0, $zero, 4
+        syscall
+        move  $a0, $s2
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp

@@ -1,0 +1,50 @@
+# Bubble sort a word array and print it.
+# expect: 2 3 11 17 23 42 64 99
+        .data
+arr:    .word 42, 17, 99, 3, 64, 2, 23, 11
+n:      .word 8
+        .text
+        .proc main
+main:   la    $s0, arr
+        la    $t0, n
+        lw    $s1, 0($t0)            # n
+        move  $s2, $zero             # i
+iloop:  addiu $t0, $s1, -1
+        slt   $t1, $s2, $t0          # i < n-1
+        beq   $t1, $zero, print
+        move  $s3, $zero             # j
+jloop:  subu  $t0, $s1, $s2
+        addiu $t0, $t0, -1           # n-1-i
+        slt   $t1, $s3, $t0
+        beq   $t1, $zero, inext
+        sll   $t2, $s3, 2
+        addu  $t2, $s0, $t2          # &arr[j]
+        lw    $t3, 0($t2)
+        lw    $t4, 4($t2)
+        slt   $t5, $t4, $t3          # arr[j+1] < arr[j]?
+        beq   $t5, $zero, jnext
+        sw    $t4, 0($t2)
+        sw    $t3, 4($t2)
+jnext:  addiu $s3, $s3, 1
+        b     jloop
+inext:  addiu $s2, $s2, 1
+        b     iloop
+print:  move  $s2, $zero
+ploop:  slt   $t0, $s2, $s1
+        beq   $t0, $zero, done
+        sll   $t1, $s2, 2
+        addu  $t1, $s0, $t1
+        lw    $a0, 0($t1)
+        ori   $v0, $zero, 1
+        syscall
+        addiu $t0, $s1, -1
+        beq   $s2, $t0, skipsp
+        ori   $a0, $zero, ' '
+        ori   $v0, $zero, 11
+        syscall
+skipsp: addiu $s2, $s2, 1
+        b     ploop
+done:   move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp

@@ -1,0 +1,100 @@
+# String routines: strlen, reverse in place, compare.
+# expect: len=26 rev=zyxwvutsrqponmlkjihgfedcba cmp=1
+        .data
+alpha:  .asciiz "abcdefghijklmnopqrstuvwxyz"
+copy:   .space 32
+m1:     .asciiz "len="
+m2:     .asciiz " rev="
+m3:     .asciiz " cmp="
+        .text
+        .proc main
+main:   la    $a0, m1
+        ori   $v0, $zero, 4
+        syscall
+        la    $a0, alpha
+        jal   strlen
+        move  $s0, $v0               # length
+        move  $a0, $s0
+        ori   $v0, $zero, 1
+        syscall
+        # copy then reverse
+        la    $a0, alpha
+        la    $a1, copy
+        jal   strcpy
+        la    $a0, copy
+        move  $a1, $s0
+        jal   reverse
+        la    $a0, m2
+        ori   $v0, $zero, 4
+        syscall
+        la    $a0, copy
+        ori   $v0, $zero, 4
+        syscall
+        # reversed alphabet compared to itself -> equal (1)
+        la    $a0, copy
+        la    $a1, copy
+        jal   streq
+        la    $a0, m3
+        move  $s1, $v0
+        ori   $v0, $zero, 4
+        syscall
+        move  $a0, $s1
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+
+        .proc strlen
+strlen: move  $v0, $zero
+sl1:    addu  $t0, $a0, $v0
+        lbu   $t0, 0($t0)
+        beq   $t0, $zero, sl2
+        addiu $v0, $v0, 1
+        b     sl1
+sl2:    jr    $ra
+        .endp
+
+        .proc strcpy
+strcpy: lbu   $t0, 0($a0)
+        sb    $t0, 0($a1)
+        beq   $t0, $zero, sc2
+        addiu $a0, $a0, 1
+        addiu $a1, $a1, 1
+        b     strcpy
+sc2:    jr    $ra
+        .endp
+
+# reverse(buf in a0, len in a1) in place
+        .proc reverse
+reverse:
+        move  $t0, $a0               # left
+        addu  $t1, $a0, $a1
+        addiu $t1, $t1, -1           # right
+rv1:    sltu  $t2, $t0, $t1
+        beq   $t2, $zero, rv2
+        lbu   $t3, 0($t0)
+        lbu   $t4, 0($t1)
+        sb    $t4, 0($t0)
+        sb    $t3, 0($t1)
+        addiu $t0, $t0, 1
+        addiu $t1, $t1, -1
+        b     rv1
+rv2:    jr    $ra
+        .endp
+
+# streq(a0, a1) -> 1 if equal else 0
+        .proc streq
+streq:  lbu   $t0, 0($a0)
+        lbu   $t1, 0($a1)
+        bne   $t0, $t1, ne
+        beq   $t0, $zero, eq
+        addiu $a0, $a0, 1
+        addiu $a1, $a1, 1
+        b     streq
+eq:     ori   $v0, $zero, 1
+        jr    $ra
+ne:     move  $v0, $zero
+        jr    $ra
+        .endp
