@@ -1,0 +1,156 @@
+// Command cclint runs the static analyzer (internal/analysis) over
+// program images, synthetic benchmarks, and the shipped decompression
+// handlers. It proves — without a simulation run — that control flow
+// stays on mapped decompression lines, that swic never appears outside
+// the handler RAM, and that the handlers themselves are architecturally
+// invisible to the interrupted program.
+//
+//	cclint prog.img prog.cc.img       # lint saved images
+//	cclint -synth all                 # lint every synthetic benchmark, native
+//	cclint -synth cc1 -scheme dict    # compress first, lint both images
+//	cclint -handlers                  # lint every shipped handler variant
+//
+// Exit status is 1 when any warning-or-worse finding is reported (or
+// on build/load errors), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/compress/dict"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+var (
+	synthName = flag.String("synth", "", "lint a synthetic benchmark by name (or 'all')")
+	scheme    = flag.String("scheme", "", "compress the synth program first: dict, codepack, procdict, copy")
+	shadowRF  = flag.Bool("rf", false, "use the shadow register file with -scheme")
+	bits      = flag.Int("bits", 16, "dictionary index width with -scheme dict (8 or 16)")
+	handlers  = flag.Bool("handlers", false, "lint every shipped decompression handler variant")
+	info      = flag.Bool("info", false, "also print info-level findings")
+	timing    = flag.Bool("time", false, "report analyzer wall-clock per image")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cclint: ")
+	flag.Parse()
+
+	dirty := false
+	if *handlers {
+		dirty = lintHandlers() || dirty
+	}
+	if *synthName != "" {
+		dirty = lintSynth(*synthName) || dirty
+	}
+	for _, path := range flag.Args() {
+		im, err := program.LoadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dirty = lintImage(path, im) || dirty
+	}
+	if !*handlers && *synthName == "" && flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}
+
+// lintImage analyzes one image and prints its findings. It returns
+// whether any warning-or-worse finding was reported.
+func lintImage(name string, im *program.Image) bool {
+	start := time.Now()
+	rep := analysis.AnalyzeImage(im)
+	elapsed := time.Since(start)
+
+	min := analysis.Warning
+	if *info {
+		min = analysis.Info
+	}
+	shown := rep.AtLeast(min)
+	for _, f := range shown {
+		fmt.Printf("%s: %s\n", name, f)
+	}
+	bad := rep.Count(analysis.Warning)
+	switch {
+	case bad > 0:
+		fmt.Printf("%s: %d finding(s)\n", name, bad)
+	case len(shown) > 0:
+		fmt.Printf("%s: clean (%d info)\n", name, len(shown))
+	default:
+		fmt.Printf("%s: clean\n", name)
+	}
+	if *timing {
+		fmt.Printf("%s: analyzed in %v\n", name, elapsed.Round(time.Microsecond))
+	}
+	return bad > 0
+}
+
+// lintSynth builds (and optionally compresses) the named benchmark(s).
+func lintSynth(name string) bool {
+	var profiles []synth.Profile
+	if name == "all" {
+		profiles = synth.Benchmarks()
+	} else {
+		p, ok := synth.ByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", name)
+		}
+		profiles = []synth.Profile{p}
+	}
+	dirty := false
+	for _, p := range profiles {
+		im, err := synth.Build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dirty = lintImage(p.Name, im) || dirty
+		if *scheme != "" {
+			res, err := core.Compress(im, core.Options{
+				Scheme:    program.Scheme(*scheme),
+				ShadowRF:  *shadowRF,
+				IndexBits: dict.IndexBits(*bits),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dirty = lintImage(p.Name+"/"+*scheme, res.Image) || dirty
+		}
+	}
+	return dirty
+}
+
+// lintHandlers runs the handler rules on every shipped variant.
+func lintHandlers() bool {
+	dirty := false
+	for _, v := range decomp.Variants() {
+		seg, err := decomp.Build(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := &analysis.Report{}
+		analysis.AnalyzeHandlerSegment(seg, analysis.HandlerInfo{Name: v.String(), ShadowRF: v.ShadowRF}, rep)
+		rep.Sort()
+		for _, f := range rep.AtLeast(analysis.Warning) {
+			fmt.Printf("handler %s: %s\n", v, f)
+		}
+		if n := rep.Count(analysis.Warning); n > 0 {
+			fmt.Printf("handler %s: %d finding(s)\n", v, n)
+			dirty = true
+		} else {
+			fmt.Printf("handler %s: clean (%d bytes)\n", v, len(seg.Data))
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,191 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+// reportClean fails the test if the report has any warning-or-worse
+// findings, printing each one.
+func reportClean(t *testing.T, name string, rep *analysis.Report) {
+	t.Helper()
+	for _, f := range rep.AtLeast(analysis.Warning) {
+		t.Errorf("%s: %s", name, f)
+	}
+}
+
+// analyzeHandler runs the handler rules on a built decompressor.
+func analyzeHandler(seg *program.Segment, name string, shadowRF bool) *analysis.Report {
+	rep := &analysis.Report{}
+	analysis.AnalyzeHandlerSegment(seg, analysis.HandlerInfo{Name: name, ShadowRF: shadowRF}, rep)
+	rep.Sort()
+	return rep
+}
+
+// TestSynthProgramsClean is the positive gate: the analyzer must report
+// nothing on any shipped benchmark, native or compressed under either
+// paper scheme, with and without the shadow register file.
+func TestSynthProgramsClean(t *testing.T) {
+	for _, p := range synth.Benchmarks() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			im, err := synth.Build(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportClean(t, p.Name+"/native", analysis.AnalyzeImage(im))
+			for _, opt := range []core.Options{
+				{Scheme: program.SchemeDict},
+				{Scheme: program.SchemeDict, ShadowRF: true},
+				{Scheme: program.SchemeCodePack},
+				{Scheme: program.SchemeCodePack, ShadowRF: true},
+			} {
+				res, err := core.Compress(im, opt)
+				if err != nil {
+					t.Fatalf("%v: %v", opt.Scheme, err)
+				}
+				name := p.Name + "/" + string(opt.Scheme)
+				if opt.ShadowRF {
+					name += "+RF"
+				}
+				reportClean(t, name, analysis.AnalyzeImage(res.Image))
+			}
+		})
+	}
+}
+
+// TestShippedHandlersClean is the regression gate on the decompressors:
+// every handler variant the paper evaluates must verify clean against
+// the invisibility contract.
+func TestShippedHandlersClean(t *testing.T) {
+	for _, v := range decomp.Variants() {
+		seg, err := decomp.Build(v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		reportClean(t, v.String(), analyzeHandler(seg, v.String(), v.ShadowRF))
+	}
+}
+
+// TestCoreLintOption checks the core.Compress wiring: Options.Lint
+// populates Result.Lint and a shipped benchmark comes back clean.
+func TestCoreLintOption(t *testing.T) {
+	p, _ := synth.ByName("pegwit")
+	im, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compress(im, core.Options{Scheme: program.SchemeDict, Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lint == nil {
+		t.Fatal("Options.Lint set but Result.Lint is nil")
+	}
+	if !res.Lint.Clean() {
+		t.Errorf("lint not clean: native=%v compressed=%v", res.Lint.Native, res.Lint.Compressed)
+	}
+	res, err = core.Compress(im, core.Options{Scheme: program.SchemeDict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lint != nil {
+		t.Error("Result.Lint populated without Options.Lint")
+	}
+}
+
+// TestCFGShape sanity-checks block splitting and edges on a handler CFG.
+func TestCFGShape(t *testing.T) {
+	seg, err := decomp.Build(decomp.Variant{Scheme: program.SchemeDict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildSegmentCFG("dict", seg)
+	if len(g.Blocks) < 3 {
+		t.Fatalf("dict handler CFG has %d blocks, want >= 3 (entry, loop, epilogue)", len(g.Blocks))
+	}
+	// The copy loop must appear as a back edge.
+	hasBack := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s <= b.Index {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Error("dict handler CFG has no back edge; the copy loop is missing")
+	}
+	for i, ok := range g.Reachable() {
+		if !ok {
+			t.Errorf("block %d unreachable in dict handler", i)
+		}
+	}
+	if g.End() != seg.Base+uint32(len(seg.Data)) {
+		t.Errorf("CFG end %#x != segment end %#x", g.End(), seg.Base+uint32(len(seg.Data)))
+	}
+}
+
+// TestLivenessOnHandler checks the liveness solver's entry set on the
+// single-RF dictionary handler: it reads $sp and the four registers it
+// saves before defining anything else; a shadow-RF handler reads nothing.
+func TestLivenessOnHandler(t *testing.T) {
+	seg, err := decomp.Build(decomp.Variant{Scheme: program.SchemeDict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildSegmentCFG("dict", seg)
+	in := analysis.ComputeLiveness(g, 0).In[0]
+	for _, r := range []int{isa.RegSP, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4} {
+		if !in.Has(r) {
+			t.Errorf("dict handler entry liveness missing %s", isa.RegName(r))
+		}
+	}
+
+	seg, err = decomp.Build(decomp.Variant{Scheme: program.SchemeDict, ShadowRF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = analysis.BuildSegmentCFG("dict+RF", seg)
+	if in := analysis.ComputeLiveness(g, 0).In[0]; in != 0 {
+		t.Errorf("dict+RF handler reads %v before writing", in.Regs())
+	}
+}
+
+// TestDeadProcs: shipped benchmarks have no unreachable procedures.
+func TestDeadProcs(t *testing.T) {
+	p, _ := synth.ByName("pegwit")
+	im, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead := analysis.DeadProcs(im); len(dead) != 0 {
+		t.Errorf("synth image reports dead procs: %v", dead)
+	}
+}
+
+func BenchmarkAnalyzeImage(b *testing.B) {
+	p, _ := synth.ByName("cc1")
+	im, err := synth.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Compress(im, core.Options{Scheme: program.SchemeDict})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := analysis.AnalyzeImage(res.Image)
+		if rep.Count(analysis.Warning) != 0 {
+			b.Fatal("unexpected findings")
+		}
+	}
+}

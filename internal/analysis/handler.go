@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// HandlerInfo describes the decompression-handler contract the analyzer
+// verifies (paper §4.1): the handler runs at exception level inside the
+// dedicated decompressor RAM and must be architecturally invisible to the
+// interrupted program.
+type HandlerInfo struct {
+	Name     string
+	ShadowRF bool // second register file: GPR writes are banked
+}
+
+// AnalyzeHandlerSegment verifies the decompressor segment against the
+// invisibility contract and appends its findings to rep.
+//
+// The checks, in terms of the paper's argument that decompression is
+// "transparent to the program" (§3, §4):
+//
+//   - handler-no-iret: every reachable path must end in iret; falling off
+//     the handler or returning via jr would resume user code with EXL set.
+//   - handler-escape: control must stay inside the handler RAM; syscalls
+//     and calls re-enter user code mid-exception.
+//   - handler-no-swic: a handler that never executes swic cannot fill the
+//     missed line, so the same exception re-raises forever.
+//   - handler-clobber: on the single-register-file configurations every
+//     user-visible register written must first be saved to the $sp red
+//     zone and restored from the same slot before iret ($k0/$k1 are
+//     reserved for the OS and exempt). HI/LO are never banked — even the
+//     shadow-RF handlers may not use mult/div.
+//   - handler-store: stores may only target the red zone below the user
+//     $sp; anything else mutates user-visible memory.
+//   - handler-shadow-read: with the shadow register file the handler's
+//     GPRs hold stale values from the previous exception, so reading a
+//     register before writing it (liveness at entry) is a bug.
+//   - handler-sysreg: mtc0 to EPC/Status/Cause/BadVA corrupts the
+//     exception state iret consumes.
+func AnalyzeHandlerSegment(seg *program.Segment, info HandlerInfo, rep *Report) *CFG {
+	words := segWords(seg)
+	g := BuildCFG(info.Name, seg.Base, words)
+	reach := g.Reachable()
+
+	sawSwic := false
+	for i, b := range g.Blocks {
+		if !reach[i] {
+			rep.add(RuleDeadCode, Warning, b.Start(), info.Name,
+				"unreachable handler block (%d instructions)", len(b.Instrs))
+			continue
+		}
+		if b.FallsOff {
+			rep.add(RuleHandlerNoIret, Error, b.Last().PC, info.Name,
+				"execution falls off the end of the handler without iret")
+		}
+		for _, in := range b.Instrs {
+			switch in.Kind {
+			case isa.KindIllegal:
+				rep.add(RuleIllegalInstr, Error, in.PC, info.Name,
+					"unrecognised encoding %#08x", in.Word)
+			case isa.KindSwic:
+				sawSwic = true
+			case isa.KindSyscall:
+				rep.add(RuleHandlerEscape, Error, in.PC, info.Name,
+					"%s inside the decompression handler", isa.Disassemble(in.PC, in.Word))
+			case isa.KindJumpReg:
+				rep.add(RuleHandlerEscape, Error, in.PC, info.Name,
+					"indirect jump %s leaves the handler with EXL set (use iret)",
+					isa.Disassemble(in.PC, in.Word))
+			case isa.KindCop0:
+				if isa.Rs(in.Word) == isa.CopMTC0 {
+					c0 := isa.Rd(in.Word)
+					switch c0 {
+					case isa.C0EPC, isa.C0Status, isa.C0Cause, isa.C0BadVA:
+						rep.add(RuleHandlerSysreg, Error, in.PC, info.Name,
+							"handler overwrites %s consumed by iret", isa.C0Name(c0))
+					default:
+						rep.add(RuleHandlerSysreg, Warning, in.PC, info.Name,
+							"handler rewrites system register %s", isa.C0Name(c0))
+					}
+				}
+			}
+		}
+		for _, t := range b.ExtTargets {
+			rep.add(RuleHandlerEscape, Error, b.Last().PC, info.Name,
+				"control transfer to %#x outside the handler RAM", t)
+		}
+	}
+	if !sawSwic {
+		rep.add(RuleHandlerNoSwic, Error, seg.Base, info.Name,
+			"handler contains no swic: the missed line can never be filled")
+	}
+
+	checkHandlerStores(g, reach, info, rep)
+	checkHandlerClobbers(g, reach, info, rep)
+	if info.ShadowRF {
+		checkShadowReads(g, info, rep)
+	}
+	return g
+}
+
+// checkHandlerStores flags sb/sh/sw that can touch user-visible memory.
+// The only store discipline the analyzer can prove safe is the red zone:
+// negative offsets off the (unmodified) user $sp, as in Figure 2.
+func checkHandlerStores(g *CFG, reach []bool, info HandlerInfo, rep *Report) {
+	for i, b := range g.Blocks {
+		if !reach[i] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Kind != isa.KindStore {
+				continue
+			}
+			base, off := isa.Rs(in.Word), isa.SImm(in.Word)
+			switch {
+			case base == isa.RegSP && off < 0:
+				// Red-zone save: fine.
+			case base == isa.RegSP:
+				rep.add(RuleHandlerStore, Error, in.PC, info.Name,
+					"store at %d($sp) overwrites the user's live stack", off)
+			default:
+				rep.add(RuleHandlerStore, Warning, in.PC, info.Name,
+					"store through %s: cannot prove it avoids user memory",
+					isa.RegName(base))
+			}
+		}
+	}
+}
+
+// regState is the abstract per-register value for the clobber proof.
+// orig is a bitset of registers still holding (or restored to) the
+// interrupted program's value; slots maps a red-zone byte offset to the
+// register whose original value it holds.
+type regState struct {
+	orig  RegSet
+	slots map[int32]int
+}
+
+func (s regState) clone() regState {
+	m := make(map[int32]int, len(s.slots))
+	for k, v := range s.slots {
+		m[k] = v
+	}
+	return regState{orig: s.orig, slots: m}
+}
+
+// join merges two states at a CFG merge point: a register is original
+// only if it is on both paths, a slot valid only if both paths agree.
+func (s regState) join(t regState) regState {
+	out := regState{orig: s.orig & t.orig, slots: map[int32]int{}}
+	for k, v := range s.slots {
+		if tv, ok := t.slots[k]; ok && tv == v {
+			out.slots[k] = v
+		}
+	}
+	return out
+}
+
+func (s regState) equal(t regState) bool {
+	if s.orig != t.orig || len(s.slots) != len(t.slots) {
+		return false
+	}
+	for k, v := range s.slots {
+		if tv, ok := t.slots[k]; !ok || tv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHandlerClobbers runs a forward abstract interpretation proving
+// that at every iret each user-visible register holds its original
+// value: either it was never written, or it was saved to a red-zone slot
+// while still original and restored from that same slot. With the shadow
+// register file the GPR file is banked, so only HI/LO (which the
+// hardware does not bank) are checked.
+func checkHandlerClobbers(g *CFG, reach []bool, info HandlerInfo, rep *Report) {
+	exempt := RegSet(0).Add(isa.RegK0).Add(isa.RegK1)
+	if info.ShadowRF {
+		exempt = AllUserRegs() &^ (RegSet(0).Add(regHI).Add(regLO))
+	}
+
+	n := len(g.Blocks)
+	in := make([]regState, n)
+	have := make([]bool, n)
+	init := regState{orig: AllUserRegs(), slots: map[int32]int{}}
+	in[0], have[0] = init, true
+
+	step := func(s regState, w isa.Word) regState {
+		spOK := s.orig.Has(isa.RegSP)
+		switch isa.Classify(w) {
+		case isa.KindStore:
+			if isa.Rs(w) == isa.RegSP && spOK {
+				off, rt := isa.SImm(w), isa.Rt(w)
+				if isa.Op(w) == isa.OpSW && s.orig.Has(rt) {
+					s.slots[off] = rt // saved the user's value
+				} else {
+					// Scratch store (or a sub-word write): every slot it
+					// overlaps no longer holds a clean saved value.
+					width := int32(4)
+					switch isa.Op(w) {
+					case isa.OpSB:
+						width = 1
+					case isa.OpSH:
+						width = 2
+					}
+					for k := range s.slots {
+						if off < k+4 && off+width > k {
+							delete(s.slots, k)
+						}
+					}
+				}
+			}
+			return s
+		case isa.KindLoad:
+			rt := DefReg(w)
+			if rt < 0 {
+				return s
+			}
+			if isa.Op(w) == isa.OpLW && isa.Rs(w) == isa.RegSP && spOK {
+				if saved, ok := s.slots[isa.SImm(w)]; ok && saved == rt {
+					s.orig = s.orig.Add(rt) // restored
+					return s
+				}
+			}
+			s.orig &^= RegSet(0).Add(rt)
+			return s
+		default:
+			for _, r := range DefSet(w).Regs() {
+				s.orig &^= RegSet(0).Add(r)
+				if r == isa.RegSP {
+					// Moving $sp invalidates every slot offset.
+					s.slots = map[int32]int{}
+				}
+			}
+			return s
+		}
+	}
+
+	rpo := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, i := range rpo {
+			if !have[i] {
+				continue
+			}
+			s := in[i].clone()
+			for _, instr := range g.Blocks[i].Instrs {
+				s = step(s, instr.Word)
+			}
+			for _, succ := range g.Blocks[i].Succs {
+				var ns regState
+				if have[succ] {
+					ns = in[succ].join(s)
+				} else {
+					ns = s.clone()
+				}
+				if !have[succ] || !ns.equal(in[succ]) {
+					in[succ], have[succ] = ns, true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// At every reachable iret, everything non-exempt must be original.
+	for i, b := range g.Blocks {
+		if !reach[i] || !have[i] {
+			continue
+		}
+		s := in[i].clone()
+		for _, instr := range b.Instrs {
+			if instr.Kind == isa.KindIret {
+				for _, r := range (AllUserRegs() &^ s.orig &^ exempt).Regs() {
+					rep.add(RuleHandlerClobber, Error, instr.PC, info.Name,
+						"iret with %s clobbered (written without save/restore)", regName(r))
+				}
+				break
+			}
+			s = step(s, instr.Word)
+		}
+	}
+}
+
+// checkShadowReads uses liveness to find registers a shadow-RF handler
+// reads before writing: the shadow bank holds stale values from the
+// previous exception, never live-in state.
+func checkShadowReads(g *CFG, info HandlerInfo, rep *Report) {
+	lv := ComputeLiveness(g, 0)
+	if len(lv.In) == 0 {
+		return
+	}
+	for _, r := range lv.In[0].Regs() {
+		rep.add(RuleHandlerShadowRead, Error, g.Base, info.Name,
+			"handler reads %s before writing it; the shadow bank holds stale state",
+			regName(r))
+	}
+}
+
+// BuildSegmentCFG decodes a whole segment as one unit and returns its
+// CFG — the entry point for analyzing a handler (or any raw code blob)
+// outside a full image.
+func BuildSegmentCFG(name string, seg *program.Segment) *CFG {
+	return BuildCFG(name, seg.Base, segWords(seg))
+}
+
+// segWords decodes a segment's bytes as little-endian words.
+func segWords(seg *program.Segment) []isa.Word {
+	words := make([]isa.Word, len(seg.Data)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(seg.Data[4*i:])
+	}
+	return words
+}

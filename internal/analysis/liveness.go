@@ -1,0 +1,150 @@
+package analysis
+
+import "repro/internal/isa"
+
+// RegSet is a bit set over the 32 GPRs plus the HI (bit 32) and LO
+// (bit 33) accumulators.
+type RegSet uint64
+
+// Has reports whether register r is in the set.
+func (s RegSet) Has(r int) bool { return r >= 0 && s&(1<<uint(r)) != 0 }
+
+// Add returns s with register r added ($zero is never tracked).
+func (s RegSet) Add(r int) RegSet {
+	if r <= 0 {
+		return s
+	}
+	return s | 1<<uint(r)
+}
+
+// Regs returns the members in ascending order.
+func (s RegSet) Regs() []int {
+	var out []int
+	for r := 1; r < 34; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DefReg returns the general-purpose register w writes, or -1. $zero
+// writes report -1 (they are architectural no-ops). HI/LO writes are
+// reported by DefSet, not here.
+func DefReg(w isa.Word) int {
+	rd := -1
+	switch isa.Classify(w) {
+	case isa.KindALU:
+		switch isa.Op(w) {
+		case isa.OpSpecial:
+			switch isa.Funct(w) {
+			case isa.FnMULT, isa.FnMULTU, isa.FnDIV, isa.FnDIVU:
+				return -1 // write HI/LO only
+			}
+			rd = isa.Rd(w)
+		default: // immediates, lui
+			rd = isa.Rt(w)
+		}
+	case isa.KindLoad:
+		rd = isa.Rt(w)
+	case isa.KindCop0:
+		if isa.Rs(w) == isa.CopMFC0 {
+			rd = isa.Rt(w)
+		}
+	case isa.KindJump:
+		if isJAL(w) {
+			rd = isa.RegRA
+		}
+	case isa.KindJumpReg:
+		if isJALR(w) {
+			rd = isa.Rd(w)
+		}
+	}
+	if rd == isa.RegZero {
+		return -1
+	}
+	return rd
+}
+
+// DefSet returns every register w writes, including HI/LO.
+func DefSet(w isa.Word) RegSet {
+	var s RegSet
+	s = s.Add(DefReg(w))
+	if isa.Op(w) == isa.OpSpecial {
+		switch isa.Funct(w) {
+		case isa.FnMULT, isa.FnMULTU, isa.FnDIV, isa.FnDIVU:
+			s = s.Add(regHI).Add(regLO)
+		}
+	}
+	return s
+}
+
+// UseSet returns every register w reads, including HI/LO.
+func UseSet(w isa.Word) RegSet {
+	var s RegSet
+	a, b := isa.SrcRegs(w)
+	s = s.Add(a).Add(b)
+	if isa.Op(w) == isa.OpSpecial {
+		switch isa.Funct(w) {
+		case isa.FnMFHI:
+			s = s.Add(regHI)
+		case isa.FnMFLO:
+			s = s.Add(regLO)
+		}
+	}
+	return s
+}
+
+// Liveness holds the result of backward liveness analysis over a CFG.
+type Liveness struct {
+	In  []RegSet // live at block entry
+	Out []RegSet // live at block exit
+}
+
+// ComputeLiveness solves backward liveness to a fixpoint. exitLive is
+// the set considered live at every exit of the unit (for user code,
+// callee-visible state; for a handler, every user register — which is
+// what makes an unsaved clobber a dead-store-free proof obligation).
+func ComputeLiveness(g *CFG, exitLive RegSet) *Liveness {
+	n := len(g.Blocks)
+	lv := &Liveness{In: make([]RegSet, n), Out: make([]RegSet, n)}
+	gen := make([]RegSet, n)  // upward-exposed uses
+	kill := make([]RegSet, n) // defs
+	for i, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			gen[i] |= UseSet(in.Word) &^ kill[i]
+			kill[i] |= DefSet(in.Word)
+		}
+	}
+	terminal := func(b *Block) bool { return len(b.Succs) == 0 || b.FallsOff }
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			out := RegSet(0)
+			if terminal(b) {
+				out = exitLive
+			}
+			for _, s := range b.Succs {
+				out |= lv.In[s]
+			}
+			in := gen[i] | out&^kill[i]
+			if out != lv.Out[i] || in != lv.In[i] {
+				lv.Out[i], lv.In[i] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// AllUserRegs is the exit-live set of a decompression handler: every
+// GPR except $zero, plus HI and LO — the handler returns into arbitrary
+// user code, so everything is observable.
+func AllUserRegs() RegSet {
+	var s RegSet
+	for r := 1; r < isa.NumRegs; r++ {
+		s = s.Add(r)
+	}
+	return s.Add(regHI).Add(regLO)
+}

@@ -1,0 +1,224 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+// loadFixture assembles a testdata source file.
+func loadFixture(t *testing.T, name string) *program.Image {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := asm.Assemble(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return im
+}
+
+// handlerFindings assembles a broken-handler fixture and returns the
+// rule IDs it fires at warning or above.
+func handlerFindings(t *testing.T, file string, shadowRF bool) map[string]bool {
+	t.Helper()
+	im := loadFixture(t, file)
+	seg := im.Segment(program.SegDecompressor)
+	if seg == nil {
+		t.Fatalf("%s: no decompressor segment", file)
+	}
+	rep := analyzeHandler(seg, strings.TrimSuffix(file, ".s"), shadowRF)
+	rules := map[string]bool{}
+	for _, f := range rep.AtLeast(analysis.Warning) {
+		rules[f.Rule] = true
+	}
+	return rules
+}
+
+// TestBrokenHandlerFixtures proves every handler rule fires on a
+// deliberately broken decompressor.
+func TestBrokenHandlerFixtures(t *testing.T) {
+	cases := []struct {
+		file     string
+		shadowRF bool
+		want     string
+	}{
+		{"bad_clobber.s", false, analysis.RuleHandlerClobber},
+		{"bad_restore.s", false, analysis.RuleHandlerClobber},
+		{"bad_noiret.s", false, analysis.RuleHandlerNoIret},
+		{"bad_noswic.s", false, analysis.RuleHandlerNoSwic},
+		{"bad_escape.s", false, analysis.RuleHandlerEscape},
+		{"bad_store.s", false, analysis.RuleHandlerStore},
+		{"bad_shadowread.s", true, analysis.RuleHandlerShadowRead},
+		{"bad_sysreg.s", false, analysis.RuleHandlerSysreg},
+		{"bad_hilo.s", true, analysis.RuleHandlerClobber},
+	}
+	for _, c := range cases {
+		t.Run(c.file, func(t *testing.T) {
+			rules := handlerFindings(t, c.file, c.shadowRF)
+			if !rules[c.want] {
+				t.Errorf("%s: rule %s did not fire (got %v)", c.file, c.want, rules)
+			}
+		})
+	}
+}
+
+// TestGoodHandlerFixturesStayQuiet: the fixtures must fire only their
+// intended rules, not drown everything in noise — the clobber fixture,
+// for example, must not also trip the escape or store rules.
+func TestFixtureSpecificity(t *testing.T) {
+	rules := handlerFindings(t, "bad_clobber.s", false)
+	for _, r := range []string{analysis.RuleHandlerEscape, analysis.RuleHandlerStore,
+		analysis.RuleHandlerNoIret, analysis.RuleHandlerNoSwic} {
+		if rules[r] {
+			t.Errorf("bad_clobber.s unexpectedly fired %s", r)
+		}
+	}
+}
+
+// TestUserProgramRules: swic/iret outside the handler RAM, fallthrough
+// off a procedure end, and dead code all fire on the user-code fixture.
+func TestUserProgramRules(t *testing.T) {
+	im := loadFixture(t, "bad_user_swic.s")
+	rep := analysis.AnalyzeImage(im)
+	rules := map[string]bool{}
+	for _, f := range rep.AtLeast(analysis.Warning) {
+		rules[f.Rule] = true
+	}
+	for _, want := range []string{
+		analysis.RuleSwicOutside,
+		analysis.RuleFallthroughEnd,
+		analysis.RuleDeadCode,
+	} {
+		if !rules[want] {
+			t.Errorf("rule %s did not fire on bad_user_swic.s (got %v)", want, rules)
+		}
+	}
+}
+
+// TestTargetBounds: a jump to an address outside every procedure fires
+// target-bounds.
+func TestTargetBounds(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Section(program.SegText, program.NativeBase, false)
+	b.Proc("main")
+	b.Label("main")
+	// j to a word-aligned address far outside the image.
+	b.Raw(isa.EncodeJ(isa.OpJ, (program.NativeBase+0x100000)>>2))
+	b.EndProc()
+	b.SetEntry("main")
+	im, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analysis.AnalyzeImage(im)
+	found := false
+	for _, f := range rep.AtLeast(analysis.Warning) {
+		if f.Rule == analysis.RuleTargetBounds {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("target-bounds did not fire: %v", rep.Findings)
+	}
+}
+
+// TestCompGeometryAndUnmapped: corrupting a compressed image's geometry
+// fires comp-geometry, and shrinking the mapped region below a branch
+// target fires target-unmapped.
+func TestCompGeometryAndUnmapped(t *testing.T) {
+	p, _ := synth.ByName("pegwit")
+	nat, err := synth.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compress(nat, core.Options{Scheme: program.SchemeDict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := res.Image
+
+	// Misalign the region end: no longer a whole number of lines.
+	savedEnd := im.Compress.CompEnd
+	im.Compress.CompEnd -= 4
+	rep := analysis.AnalyzeImage(im)
+	if rules := ruleSet(rep); !rules[analysis.RuleCompGeometry] {
+		t.Errorf("comp-geometry did not fire on misaligned CompEnd (got %v)", rules)
+	}
+
+	// Cut the region off mid-line just past the entry point: the entry is
+	// still inside [CompStart,CompEnd) but its decompression line now
+	// straddles the boundary, so the handler could never fill it.
+	if im.Entry < im.Compress.CompStart || im.Entry%32 >= 28 {
+		t.Fatalf("entry %#x not suitable for the unmapped-line case", im.Entry)
+	}
+	im.Compress.CompEnd = im.Entry + 4
+	rep = analysis.AnalyzeImage(im)
+	if rules := ruleSet(rep); !rules[analysis.RuleTargetUnmapped] {
+		t.Errorf("target-unmapped did not fire on straddling line (got %v)", rules)
+	}
+	im.Compress.CompEnd = savedEnd
+}
+
+// TestIllegalInstr: a reachable undecodable word fires illegal-instr.
+func TestIllegalInstr(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Section(program.SegText, program.NativeBase, false)
+	b.Proc("main")
+	b.Label("main")
+	b.Raw(0xFC000000) // primary opcode 0x3F: not a CLR32 instruction
+	b.Imm("ori", isa.RegV0, isa.RegZero, 10)
+	b.Syscall()
+	b.EndProc()
+	b.SetEntry("main")
+	im, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules := ruleSet(analysis.AnalyzeImage(im)); !rules[analysis.RuleIllegalInstr] {
+		t.Errorf("illegal-instr did not fire (got %v)", rules)
+	}
+}
+
+func ruleSet(rep *analysis.Report) map[string]bool {
+	rules := map[string]bool{}
+	for _, f := range rep.AtLeast(analysis.Warning) {
+		rules[f.Rule] = true
+	}
+	return rules
+}
+
+// TestRuleCoverage counts the distinct rule IDs exercised by the
+// negative fixtures above: the acceptance bar is at least five.
+func TestRuleCoverage(t *testing.T) {
+	all := map[string]bool{}
+	for _, c := range []struct {
+		file     string
+		shadowRF bool
+	}{
+		{"bad_clobber.s", false}, {"bad_restore.s", false}, {"bad_noiret.s", false},
+		{"bad_noswic.s", false}, {"bad_escape.s", false}, {"bad_store.s", false},
+		{"bad_shadowread.s", true}, {"bad_sysreg.s", false}, {"bad_hilo.s", true},
+	} {
+		for r := range handlerFindings(t, c.file, c.shadowRF) {
+			all[r] = true
+		}
+	}
+	im := loadFixture(t, "bad_user_swic.s")
+	for r := range ruleSet(analysis.AnalyzeImage(im)) {
+		all[r] = true
+	}
+	if len(all) < 5 {
+		t.Errorf("negative fixtures exercise only %d rule IDs: %v", len(all), all)
+	}
+}

@@ -1,0 +1,17 @@
+# Broken single-RF handler: writes $t1 and $t2 without saving either,
+# and only restores nothing before iret. Must fire handler-clobber.
+        .section .decompressor, 0x7F000000
+        .proc __bad_clobber
+__bad_clobber:
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 5
+        sll   $k1, $k1, 5
+        mfc0  $t1, $c0_dict
+        addiu $t2, $k1, 32
+cloop:  lw    $k0, 0($t1)
+        swic  $k0, 0($k1)
+        addiu $t1, $t1, 4
+        addiu $k1, $k1, 4
+        bne   $k1, $t2, cloop
+        iret
+        .endp

@@ -1,0 +1,13 @@
+# Broken handler: issues a syscall at exception level, returns with
+# jr $ra instead of iret, and jumps to user code (the raw word encodes
+# "j" leaving the handler RAM). Must fire handler-escape three times.
+        .section .decompressor, 0x7F000000
+        .proc __bad_escape
+__bad_escape:
+        mfc0  $k1, $c0_badva
+        swic  $k0, 0($k1)
+        syscall
+        beq   $k1, $zero, out
+        jr    $ra
+out:    .word 0x08100000
+        .endp

@@ -1,0 +1,13 @@
+# Broken handler: uses mult, clobbering HI/LO — which the shadow
+# register file does not bank. Must fire handler-clobber on $hi/$lo even
+# when analyzed with ShadowRF set.
+        .section .decompressor, 0x7F000000
+        .proc __bad_hilo
+__bad_hilo:
+        mfc0  $k1, $c0_badva
+        mfc0  $k0, $c0_dict
+        mult  $k0, $k1
+        mflo  $k0
+        swic  $k0, 0($k1)
+        iret
+        .endp

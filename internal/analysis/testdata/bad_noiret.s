@@ -1,0 +1,11 @@
+# Broken handler: the loop exits by falling off the end of the segment
+# instead of executing iret. Must fire handler-no-iret.
+        .section .decompressor, 0x7F000000
+        .proc __bad_noiret
+__bad_noiret:
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 5
+        sll   $k1, $k1, 5
+        mfc0  $k0, $c0_dict
+        swic  $k0, 0($k1)
+        .endp

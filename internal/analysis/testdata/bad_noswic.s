@@ -1,0 +1,12 @@
+# Broken handler: computes the line address but never executes swic, so
+# the missed line is never filled and the exception re-raises forever.
+# Must fire handler-no-swic.
+        .section .decompressor, 0x7F000000
+        .proc __bad_noswic
+__bad_noswic:
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 5
+        sll   $k1, $k1, 5
+        mfc0  $k0, $c0_dict
+        iret
+        .endp

@@ -1,0 +1,21 @@
+# Broken handler: saves $t1 at -4($sp) but "restores" it from -8($sp),
+# a slot that holds $t2's value. Must fire handler-clobber on $t1.
+        .section .decompressor, 0x7F000000
+        .proc __bad_restore
+__bad_restore:
+        sw    $t1, -4($sp)
+        sw    $t2, -8($sp)
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 5
+        sll   $k1, $k1, 5
+        mfc0  $t1, $c0_dict
+        addiu $t2, $k1, 32
+cloop:  lw    $k0, 0($t1)
+        swic  $k0, 0($k1)
+        addiu $t1, $t1, 4
+        addiu $k1, $k1, 4
+        bne   $k1, $t2, cloop
+        lw    $t1, -8($sp)
+        lw    $t2, -8($sp)
+        iret
+        .endp

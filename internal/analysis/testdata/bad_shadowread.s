@@ -1,0 +1,14 @@
+# Broken shadow-RF handler: reads $t3 (stale shadow-bank state from the
+# previous exception) before writing it. Must fire handler-shadow-read
+# when analyzed with ShadowRF set.
+        .section .decompressor, 0x7F000000
+        .proc __bad_shadowread
+__bad_shadowread:
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 5
+        sll   $k1, $k1, 5
+        addu  $t1, $t3, $k1
+        lw    $k0, 0($t1)
+        swic  $k0, 0($k1)
+        iret
+        .endp

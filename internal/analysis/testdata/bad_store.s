@@ -1,0 +1,11 @@
+# Broken handler: stores above $sp (the user's live stack frame) and
+# through a non-$sp pointer. Must fire handler-store.
+        .section .decompressor, 0x7F000000
+        .proc __bad_store
+__bad_store:
+        mfc0  $k1, $c0_badva
+        sw    $k0, 8($sp)
+        sw    $k0, 0($k1)
+        swic  $k0, 0($k1)
+        iret
+        .endp

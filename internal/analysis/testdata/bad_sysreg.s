@@ -1,0 +1,10 @@
+# Broken handler: rewrites EPC before iret, so the return address of the
+# exception is lost. Must fire handler-sysreg.
+        .section .decompressor, 0x7F000000
+        .proc __bad_sysreg
+__bad_sysreg:
+        mfc0  $k1, $c0_badva
+        mtc0  $k1, $c0_epc
+        swic  $k0, 0($k1)
+        iret
+        .endp

@@ -1,0 +1,16 @@
+# Broken user program: executes swic and iret from the native .text
+# region. Must fire swic-outside, and the trailing procedure must fire
+# fallthrough-end (it ends without jr/exit) and dead-code (nothing
+# references it).
+        .text
+        .proc main
+main:   la    $t0, main
+        swic  $t0, 0($t0)
+        iret
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+        .proc orphan
+orphan: addiu $t1, $t1, 1
+        .endp
+        .entry main

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/compress/codepack"
 	"repro/internal/compress/dict"
 	"repro/internal/decomp"
@@ -36,6 +37,23 @@ type Options struct {
 	// profile-guided placement the paper proposes as future work (§5.3).
 	// Procedures not listed follow in their original relative order.
 	Order []string
+	// Lint runs the static analyzer (internal/analysis) over both the
+	// input image and the rewritten image, returning warning-or-worse
+	// findings in Result.Lint. It catches broken handlers, bad
+	// re-layouts and unmapped branch targets in milliseconds, without a
+	// lockstep simulation run.
+	Lint bool
+}
+
+// LintResult carries the static-analysis findings of a linted run.
+type LintResult struct {
+	Native     []analysis.Finding // findings in the input image
+	Compressed []analysis.Finding // findings in the rewritten image
+}
+
+// Clean reports whether the lint pass found nothing at Warning or above.
+func (l *LintResult) Clean() bool {
+	return l == nil || len(l.Native)+len(l.Compressed) == 0
 }
 
 // Result is a compressed program plus its size accounting.
@@ -45,6 +63,9 @@ type Result struct {
 	OriginalSize int // bytes of the original .text
 	StoredSize   int // bytes of memory the code occupies after compression
 	NativeBytes  int // bytes left as native code (selective compression)
+
+	// Lint holds static-analysis findings when Options.Lint is set.
+	Lint *LintResult
 }
 
 // Ratio returns StoredSize/OriginalSize (Equation 1 of the paper).
@@ -201,6 +222,12 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 		OriginalSize: len(text.Data),
 		StoredSize:   len(dictSeg) + len(idxSeg) + len(latSeg) + lay.nativeLen(),
 		NativeBytes:  lay.nativeLen(),
+	}
+	if opts.Lint {
+		res.Lint = &LintResult{
+			Native:     analysis.AnalyzeImage(native).AtLeast(analysis.Warning),
+			Compressed: analysis.AnalyzeImage(im).AtLeast(analysis.Warning),
+		}
 	}
 	return res, nil
 }

@@ -45,6 +45,42 @@ func (v Variant) String() string {
 	return name
 }
 
+// Variants returns every shipped handler configuration, in the order
+// the paper presents them (§4.1) plus the ablation handlers.
+func Variants() []Variant {
+	return []Variant{
+		{Scheme: program.SchemeDict},
+		{Scheme: program.SchemeDict, ShadowRF: true},
+		{Scheme: program.SchemeDict, IndexBits: dict.Index8},
+		{Scheme: program.SchemeCodePack},
+		{Scheme: program.SchemeCodePack, ShadowRF: true},
+		{Scheme: program.SchemeProcDict},
+		{Scheme: program.SchemeProcDict, ShadowRF: true},
+		{Scheme: "copy", ShadowRF: true},
+	}
+}
+
+// Region returns the handler RAM address range the decompressor executes
+// from (fetched in parallel with the I-cache, paper §4.1).
+func Region() (base, size uint32) {
+	return program.HandlerBase, program.HandlerSize
+}
+
+// FillBytes returns how many decompressed-region bytes one handler
+// invocation materialises: the decompression-line size the static
+// analyzer checks branch targets and region geometry against. Procedure
+// granularity has no fixed line; it reports 0.
+func FillBytes(s program.Scheme) int {
+	switch s {
+	case program.SchemeCodePack:
+		return 2 * LineBytes // a 16-instruction group spans two lines
+	case program.SchemeProcDict:
+		return 0
+	default:
+		return LineBytes
+	}
+}
+
 // Source returns the handler's assembly source text.
 func Source(v Variant) (string, error) {
 	switch v.Scheme {

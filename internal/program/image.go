@@ -165,6 +165,24 @@ func (im *Image) ProcByName(name string) *Procedure {
 	return nil
 }
 
+// IsCodeSeg reports whether the named segment holds executable user
+// code (as opposed to data, compressed streams or the handler RAM).
+func IsCodeSeg(name string) bool {
+	return name == SegText || name == SegNative
+}
+
+// CodeSegments returns the segments holding executable user code, in
+// image order.
+func (im *Image) CodeSegments() []*Segment {
+	var out []*Segment
+	for _, s := range im.Segments {
+		if IsCodeSeg(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // CodeSize returns the total code bytes: .text for a native image, or
 // .native plus the virtual decompressed region for a compressed one.
 func (im *Image) CodeSize() int {

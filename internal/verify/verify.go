@@ -92,7 +92,8 @@ func procRelative(im *program.Image, pc uint32) (string, uint32) {
 //   - the executed instruction encoding (relocation-bearing instructions
 //     are compared by procedure-relative position instead), and
 //   - the full general-purpose register state, masking registers that
-//     legitimately hold code addresses ($ra, and the operands of jr/jalr).
+//     legitimately hold code addresses ($ra, and the operands of jr/jalr)
+//     and the OS-reserved $k0/$k1 the handlers use as scratch.
 //
 // It returns nil when the runs are equivalent, or the first Divergence.
 func Lockstep(a, b *program.Image, cfg cpu.Config, maxSteps uint64) error {
@@ -158,6 +159,13 @@ func compare(step uint64, ma, mb *machine) *Divergence {
 	for r := 0; r < isa.NumRegs; r++ {
 		if r == isa.RegRA || r == isa.RegT9 {
 			continue // hold code addresses: layout-dependent by design
+		}
+		if r == isa.RegK0 || r == isa.RegK1 {
+			// OS-reserved: the single-register-file handlers use them as
+			// exception-level scratch, which user code may never observe.
+			// The static analyzer (internal/analysis) exempts them for
+			// the same reason.
+			continue
 		}
 		va, vb := ma.c.Reg(r), mb.c.Reg(r)
 		if va == vb {
