@@ -1,0 +1,130 @@
+package bpred
+
+// Table-driven walk of the 2-bit saturating counter: every state is
+// pinned — strongly/weakly not-taken (0,1), weakly/strongly taken (2,3),
+// increments on taken, decrements on not-taken, saturating at both ends.
+// Counters start at 1 (weakly not-taken).
+
+import "testing"
+
+func TestTwoBitCounterTransitions(t *testing.T) {
+	// Each case drives one fresh counter (state 1) through a history and
+	// checks the per-step prediction correctness Update reports plus the
+	// final prediction.
+	cases := []struct {
+		name    string
+		history []bool // resolved directions, in order
+		correct []bool // Update's return per step
+		finally bool   // Predict after the history
+	}{
+		{
+			name:    "saturate_taken_and_stay",
+			history: []bool{true, true, true, true, true},
+			// 1->2 (predicted NT, wrong), 2->3 (T, right), then pegged at 3.
+			correct: []bool{false, true, true, true, true},
+			finally: true,
+		},
+		{
+			name:    "saturate_not_taken_and_stay",
+			history: []bool{false, false, false, false},
+			// 1->0 (predicted NT, right), then pegged at 0.
+			correct: []bool{true, true, true, true},
+			finally: false,
+		},
+		{
+			name: "hysteresis_survives_one_not_taken",
+			// Train to 3, one NT drops to 2: still predicts taken.
+			history: []bool{true, true, false},
+			correct: []bool{false, true, false},
+			finally: true,
+		},
+		{
+			name: "weak_state_flips_on_one_more",
+			// Train to 3, two NT in a row lands at 1: both NT steps
+			// mispredict (hysteresis), but the prediction has flipped.
+			history: []bool{true, true, false, false},
+			correct: []bool{false, true, false, false},
+			finally: false,
+		},
+		{
+			name: "alternating_from_weak_nt_never_strongly_wrong",
+			// 1 -> T(wrong)->2 -> NT(wrong)->1 -> T(wrong)->2 -> ...
+			history: []bool{true, false, true, false},
+			correct: []bool{false, false, false, false},
+			finally: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(16)
+			const pc = 0x400100
+			for i, taken := range tc.history {
+				got := p.Update(pc, taken)
+				if got != tc.correct[i] {
+					t.Fatalf("step %d (taken=%v): Update = %v, want %v",
+						i, taken, got, tc.correct[i])
+				}
+			}
+			if got := p.Predict(pc); got != tc.finally {
+				t.Fatalf("final Predict = %v, want %v", got, tc.finally)
+			}
+			if want := uint64(len(tc.history)); p.Lookups != want {
+				t.Fatalf("Lookups = %d, want %d", p.Lookups, want)
+			}
+			wrong := uint64(0)
+			for _, c := range tc.correct {
+				if !c {
+					wrong++
+				}
+			}
+			if p.Mispredicts != wrong {
+				t.Fatalf("Mispredicts = %d, want %d", p.Mispredicts, wrong)
+			}
+		})
+	}
+}
+
+// TestSaturationBounds hammers both directions and verifies the counter
+// never leaves [0,3]: after any amount of training, two opposite
+// resolutions always suffice to flip the prediction.
+func TestSaturationBounds(t *testing.T) {
+	p := New(16)
+	const pc = 0x40
+	for i := 0; i < 1000; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("not predicting taken after heavy training")
+	}
+	p.Update(pc, false)
+	p.Update(pc, false)
+	if p.Predict(pc) {
+		t.Fatal("counter exceeded 3: two not-taken updates did not flip it")
+	}
+	for i := 0; i < 1000; i++ {
+		p.Update(pc, false)
+	}
+	p.Update(pc, true)
+	p.Update(pc, true)
+	if !p.Predict(pc) {
+		t.Fatal("counter went below 0: two taken updates did not flip it")
+	}
+}
+
+// TestAliasedPCsShareACounter pins the indexing function: PCs that are
+// entries*4 apart alias to the same counter (the handler/user aliasing
+// the diffsim cycle oracle has to tolerate), while PCs 4 apart do not.
+func TestAliasedPCsShareACounter(t *testing.T) {
+	p := New(16)
+	const pcA = 0x1000
+	const pcB = pcA + 16*4 // same index
+	for i := 0; i < 3; i++ {
+		p.Update(pcA, true)
+	}
+	if !p.Predict(pcB) {
+		t.Fatal("aliased PC did not share the trained counter")
+	}
+	if p.Predict(pcA + 4) {
+		t.Fatal("neighbouring PC wrongly shares the counter")
+	}
+}

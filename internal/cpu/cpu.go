@@ -215,6 +215,10 @@ func (c *CPU) SetReg(r int, v uint32) {
 // C0 returns system register n.
 func (c *CPU) C0(n int) uint32 { return c.c0[n&7] }
 
+// HiLo returns the HI and LO multiply/divide registers. Handlers never
+// touch them, so they must match across native and compressed images.
+func (c *CPU) HiLo() (hi, lo uint32) { return c.hi, c.lo }
+
 // Halted reports whether the program has exited, and with which code.
 func (c *CPU) Halted() (bool, int32) { return c.halted, c.exitCode }
 

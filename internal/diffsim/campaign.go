@@ -1,0 +1,169 @@
+package diffsim
+
+// Campaign driver shared by the diffsim-smoke test and cmd/ccfuzz: run
+// a seed range of differential cases, optionally shrink each finding and
+// emit a minimal reproducer .s file, and stream findings as JSONL.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/synth"
+)
+
+// CampaignConfig configures a fuzzing campaign.
+type CampaignConfig struct {
+	StartSeed int64
+	Cases     int
+	// ShadowRF overrides the per-seed shadow-register-file choice
+	// (nil = derived from the seed, roughly half the cases each way).
+	ShadowRF func(seed int64) bool
+	// Mutation applies one known-bug injection to every case.
+	Mutation *Mutation
+	// Shrink reduces each finding to a minimal reproducer.
+	Shrink bool
+	// OutDir receives reproducer .s files for findings ("" = none).
+	OutDir string
+	// JSONL, when set, receives one JSON object per finding.
+	JSONL io.Writer
+	// Log, when set, receives human-readable progress.
+	Log io.Writer
+	// MaxSteps is the per-case user-instruction budget (0 = default).
+	MaxSteps uint64
+	// Timeout is the per-case wall-clock budget (0 = none). A case
+	// exceeding it is counted as skipped.
+	Timeout time.Duration
+	// StopAfter stops the campaign after this many findings (0 = run all).
+	StopAfter int
+}
+
+// Finding is one JSONL record.
+type Finding struct {
+	Seed     int64  `json:"seed"`
+	Image    string `json:"image"`
+	Reason   string `json:"reason"`
+	ShadowRF bool   `json:"shadow_rf"`
+	Mutation string `json:"mutation,omitempty"`
+	Instrs   int    `json:"shrunk_instrs,omitempty"`
+	Checks   int    `json:"shrink_checks,omitempty"`
+	File     string `json:"file,omitempty"`
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Cases    int
+	Findings []Finding
+	Skipped  int // inconclusive cases (infrastructure errors, timeouts)
+}
+
+// DefaultShadow is the seed-derived shadow-register-file choice: a
+// balanced, deterministic mix so both handler families are exercised.
+func DefaultShadow(seed int64) bool {
+	return (uint64(seed)*0x9E3779B97F4A7C15)>>63 == 1
+}
+
+// checkWithTimeout runs Check, abandoning the case after the wall-clock
+// budget. The abandoned goroutine finishes its (step-bounded) run in the
+// background.
+func checkWithTimeout(p *synth.RandProgram, opts Options, d time.Duration) (*Failure, error) {
+	if d <= 0 {
+		return Check(p, opts)
+	}
+	type out struct {
+		f   *Failure
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		f, err := Check(p, opts)
+		ch <- out{f, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.f, o.err
+	case <-time.After(d):
+		return nil, fmt.Errorf("case timed out after %v", d)
+	}
+}
+
+// Run executes the campaign.
+func Run(cfg CampaignConfig) (*Summary, error) {
+	shadow := cfg.ShadowRF
+	if shadow == nil {
+		shadow = DefaultShadow
+	}
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	sum := &Summary{}
+	for i := 0; i < cfg.Cases; i++ {
+		seed := cfg.StartSeed + int64(i)
+		p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
+		opts := Options{ShadowRF: shadow(seed), MaxSteps: cfg.MaxSteps, Mutation: cfg.Mutation}
+		sum.Cases++
+		f, err := checkWithTimeout(p, opts, cfg.Timeout)
+		if err != nil {
+			sum.Skipped++
+			logf("seed %d: skipped: %v", seed, err)
+			continue
+		}
+		if f == nil {
+			continue
+		}
+		finding := Finding{Seed: seed, Image: f.Image, Reason: f.Reason, ShadowRF: opts.ShadowRF}
+		if cfg.Mutation != nil {
+			finding.Mutation = cfg.Mutation.Name
+		}
+		prog := f.Program
+		if cfg.Shrink {
+			shrunk, checks := Shrink(prog, opts)
+			prog = shrunk
+			finding.Checks = checks
+			finding.Instrs = shrunk.InstrCount()
+		}
+		if cfg.OutDir != "" {
+			name := fmt.Sprintf("repro_seed%d.s", seed)
+			if cfg.Mutation != nil {
+				name = fmt.Sprintf("repro_%s_seed%d.s", cfg.Mutation.Name, seed)
+			}
+			path := filepath.Join(cfg.OutDir, name)
+			if werr := writeReproducer(path, prog, &finding); werr != nil {
+				logf("seed %d: writing reproducer: %v", seed, werr)
+			} else {
+				finding.File = path
+			}
+		}
+		sum.Findings = append(sum.Findings, finding)
+		logf("seed %d: FINDING (%s): %s", seed, f.Image, f.Reason)
+		if cfg.JSONL != nil {
+			if jerr := json.NewEncoder(cfg.JSONL).Encode(&finding); jerr != nil {
+				return sum, jerr
+			}
+		}
+		if cfg.StopAfter > 0 && len(sum.Findings) >= cfg.StopAfter {
+			return sum, nil
+		}
+	}
+	return sum, nil
+}
+
+// writeReproducer emits the (possibly shrunk) program as a standalone
+// .s file with the finding recorded in a header comment.
+func writeReproducer(path string, p *synth.RandProgram, f *Finding) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	hdr := fmt.Sprintf("# diffsim reproducer: seed=%d image=%s shadow_rf=%v\n",
+		f.Seed, f.Image, f.ShadowRF)
+	if f.Mutation != "" {
+		hdr += fmt.Sprintf("# injected mutation: %s\n", f.Mutation)
+	}
+	hdr += fmt.Sprintf("# %s\n", f.Reason)
+	return os.WriteFile(path, []byte(hdr+p.Render()), 0o644)
+}

@@ -1,0 +1,192 @@
+package diffsim
+
+// Oracles beyond lockstep equivalence. Two run during the simulation
+// via the OnCommit hook:
+//
+//   - swic content: every word a handler stores into the I-cache must be
+//     exactly the native (golden) text byte at that address — the
+//     decompressor may not materialise anything the compiler didn't emit;
+//   - event counting: jr/jalr, iret, swic and user-branch commits are
+//     tallied per image for the post-run cycle decomposition.
+//
+// The rest run after a clean lockstep over the final machine states:
+// exact cycle accounting, cache/bpred/exception self-consistency, and
+// data-memory equality.
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/verify"
+)
+
+type opCounts struct {
+	jr           uint64 // jr + jalr (any mode)
+	iret         uint64
+	swic         uint64
+	userBranches uint64 // conditional branches committed outside the handler
+}
+
+type oracle struct {
+	images []*program.Image
+	golden []*program.Segment // .text of each image (nil if absent)
+	counts []opCounts
+	err    error
+	errImg int
+}
+
+func newOracle(images []*program.Image) *oracle {
+	o := &oracle{images: images, counts: make([]opCounts, len(images)), errImg: -1}
+	for _, im := range images {
+		o.golden = append(o.golden, im.Segment(program.SegText))
+	}
+	return o
+}
+
+func (o *oracle) onCommit(img int, c *cpu.CPU, pc, instr uint32, handler bool) {
+	n := &o.counts[img]
+	switch isa.Op(instr) {
+	case isa.OpSpecial:
+		switch isa.Funct(instr) {
+		case isa.FnJR, isa.FnJALR:
+			n.jr++
+		}
+	case isa.OpCOP0:
+		if isa.Rs(instr) == isa.CopCO && isa.Funct(instr) == isa.FnIRET {
+			n.iret++
+		}
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ, isa.OpRegImm:
+		if !handler {
+			n.userBranches++
+		}
+	case isa.OpSWIC:
+		n.swic++
+		o.checkSwic(img, c, pc, instr, handler)
+	}
+}
+
+// checkSwic validates one handler store into the I-cache against the
+// golden text.
+func (o *oracle) checkSwic(img int, c *cpu.CPU, pc, instr uint32, handler bool) {
+	if o.err != nil {
+		return
+	}
+	fail := func(format string, args ...interface{}) {
+		o.err = fmt.Errorf("swic oracle: image %d: pc %#x: %s", img, pc, fmt.Sprintf(format, args...))
+		o.errImg = img
+	}
+	if !handler {
+		fail("swic executed outside the handler")
+		return
+	}
+	addr := c.Reg(isa.Rs(instr)) + uint32(isa.SImm(instr))
+	got := c.Reg(isa.Rt(instr))
+	g := o.golden[img]
+	if g == nil || !g.Contains(addr) {
+		fail("swic to %#x outside the golden text", addr)
+		return
+	}
+	if want := g.Word(addr); got != want {
+		fail("swic wrote %08x to %#x, golden text has %08x (%s)",
+			got, addr, want, isa.Disassemble(addr, want))
+	}
+}
+
+// checkFinal validates the statistics and final state of a clean run.
+// It returns a failure reason and the offending image index (-1 for a
+// cross-image property), or ("", 0) when every invariant holds.
+func (o *oracle) checkFinal(results []*verify.MultiResult, cfg cpu.Config) (string, int) {
+	ref := results[0]
+	for i, r := range results {
+		s := r.CPU.Stats
+		// Exact cycle decomposition: every cycle the simulator charged
+		// must be attributable to a counted event. Any drift means the
+		// timing model and the statistics disagree.
+		want := s.Instrs + s.HandlerInstrs +
+			s.FetchStalls + s.LoadStalls +
+			s.LoadUseStalls*uint64(cfg.LoadUsePenalty) +
+			o.counts[i].jr*uint64(cfg.JRPenalty) +
+			r.CPU.BP.Mispredicts*uint64(cfg.MispredictPenalty) +
+			o.counts[i].iret*uint64(cfg.IretCycles) +
+			o.counts[i].swic*uint64(cfg.SwicExtraCycles) +
+			s.Exceptions*uint64(cfg.ExceptionEntry)
+		if s.Cycles != want {
+			return fmt.Sprintf("cycle accounting: %d cycles but events sum to %d (diff %+d)",
+				s.Cycles, want, int64(s.Cycles)-int64(want)), i
+		}
+		// Cache/exception self-consistency.
+		ic := r.CPU.IC.Stats
+		if ic.Misses != s.IMissNative+s.IMissCompressed {
+			return fmt.Sprintf("I-cache misses %d != IMissNative %d + IMissCompressed %d",
+				ic.Misses, s.IMissNative, s.IMissCompressed), i
+		}
+		if r.CPU.BP.Mispredicts > r.CPU.BP.Lookups {
+			return fmt.Sprintf("bpred mispredicts %d > lookups %d",
+				r.CPU.BP.Mispredicts, r.CPU.BP.Lookups), i
+		}
+		if o.counts[i].userBranches > r.CPU.BP.Lookups {
+			return fmt.Sprintf("%d user branches committed but bpred saw %d lookups",
+				o.counts[i].userBranches, r.CPU.BP.Lookups), i
+		}
+		if i == 0 {
+			if s.Exceptions != 0 || s.HandlerInstrs != 0 || s.IMissCompressed != 0 {
+				return fmt.Sprintf("native image took %d exceptions, %d handler instrs, %d compressed misses",
+					s.Exceptions, s.HandlerInstrs, s.IMissCompressed), i
+			}
+			continue
+		}
+		// Software decompression: every compressed-region miss raises.
+		if s.Exceptions != s.IMissCompressed {
+			return fmt.Sprintf("%d exceptions != %d compressed-region misses",
+				s.Exceptions, s.IMissCompressed), i
+		}
+		if s.Exceptions > 0 && (s.HandlerInstrs == 0 || ic.SwicLines == 0) {
+			return fmt.Sprintf("%d exceptions but %d handler instrs / %d swic lines",
+				s.Exceptions, s.HandlerInstrs, ic.SwicLines), i
+		}
+		// The decompressed stream is the same program: identical user
+		// work, only miss handling may differ.
+		if s.Instrs != ref.CPU.Stats.Instrs {
+			return fmt.Sprintf("user instruction count %d != native %d",
+				s.Instrs, ref.CPU.Stats.Instrs), i
+		}
+		if o.counts[i].userBranches != o.counts[0].userBranches {
+			return fmt.Sprintf("user branch count %d != native %d",
+				o.counts[i].userBranches, o.counts[0].userBranches), i
+		}
+		// A compressed image can never be faster than native: it runs the
+		// same user instructions plus decompression work.
+		if s.Cycles < ref.CPU.Stats.Cycles {
+			return fmt.Sprintf("compressed image ran in %d cycles, native needed %d",
+				s.Cycles, ref.CPU.Stats.Cycles), i
+		}
+	}
+	// Final data memory must match the reference word for word —
+	// except words covered by a data relocation (jump tables, function
+	// pointers): those hold code addresses and legitimately differ
+	// between layouts, exactly like the masked $ra/$t9 registers.
+	data := o.images[0].Segment(program.SegData)
+	if data != nil {
+		reloc := make(map[uint32]bool)
+		for _, rl := range o.images[0].Relocs {
+			if rl.Seg == program.SegData {
+				reloc[data.Base+rl.Off] = true
+			}
+		}
+		for i, r := range results[1:] {
+			for addr := data.Base; addr < data.End(); addr += 4 {
+				if reloc[addr] {
+					continue
+				}
+				va := ref.CPU.Mem.ReadWord(addr)
+				vb := r.CPU.Mem.ReadWord(addr)
+				if va != vb {
+					return fmt.Sprintf("data memory differs at %#x: %08x vs %08x", addr, va, vb), i + 1
+				}
+			}
+		}
+	}
+	return "", 0
+}

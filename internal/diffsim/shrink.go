@@ -1,0 +1,244 @@
+package diffsim
+
+// Delta-debugging over the generator IR. A failing RandProgram is
+// reduced in two phases, repeated to a fixpoint:
+//
+//  1. procedure deletion — drop a whole procedure and every call site
+//     targeting it (coarse, kills most of the program fast);
+//  2. op-level reduction — remove single ops, unwrap Loop/If bodies,
+//     collapse a Switch to one arm, shrink loop trip counts and the
+//     data-init prologue.
+//
+// A candidate is kept only if Check still reports a Failure (build
+// errors or infrastructure skips reject it), so the reduction preserves
+// the observed bug by construction, not by hope.
+
+import "repro/internal/synth"
+
+// maxShrinkChecks bounds the total number of candidate evaluations per
+// shrink so a pathological case cannot stall a campaign.
+const maxShrinkChecks = 600
+
+type shrinker struct {
+	opts   Options
+	checks int
+}
+
+// stillFails reports whether the candidate still triggers a finding.
+func (s *shrinker) stillFails(p *synth.RandProgram) bool {
+	if s.checks >= maxShrinkChecks {
+		return false
+	}
+	s.checks++
+	f, err := Check(p, s.opts)
+	return err == nil && f != nil
+}
+
+// Shrink reduces a failing program to a (locally) minimal one that still
+// fails under the same options. The input is not modified. It returns
+// the reduced program and the number of Check evaluations spent.
+func Shrink(p *synth.RandProgram, opts Options) (*synth.RandProgram, int) {
+	s := &shrinker{opts: opts}
+	cur := p.Clone()
+	for {
+		changed := false
+		if s.shrinkProcs(cur) {
+			changed = true
+		}
+		if s.shrinkOps(cur) {
+			changed = true
+		}
+		if s.shrinkSpec(cur) {
+			changed = true
+		}
+		if !changed || s.checks >= maxShrinkChecks {
+			return cur, s.checks
+		}
+	}
+}
+
+// shrinkProcs tries deleting each procedure (with its call sites).
+func (s *shrinker) shrinkProcs(p *synth.RandProgram) bool {
+	changed := false
+	for i := 0; i < len(p.Procs); {
+		cand := p.Clone()
+		name := cand.Procs[i].Name
+		cand.Procs = append(cand.Procs[:i], cand.Procs[i+1:]...)
+		for _, pr := range cand.Procs {
+			pr.Ops = removeCalls(pr.Ops, name)
+			pr.Frameless = !procNeedsFrame(pr.Ops)
+		}
+		if s.stillFails(cand) {
+			*p = *cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+func procNeedsFrame(ops []synth.RandOp) bool {
+	return hasCallsOrLoops(ops)
+}
+
+func hasCallsOrLoops(ops []synth.RandOp) bool {
+	for i := range ops {
+		switch ops[i].Kind {
+		case synth.RopCall, synth.RopCallInd, synth.RopLoop:
+			return true
+		}
+		if hasCallsOrLoops(ops[i].Body) {
+			return true
+		}
+		for _, arm := range ops[i].Arms {
+			if hasCallsOrLoops(arm) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// removeCalls strips every call op targeting name, recursively.
+func removeCalls(ops []synth.RandOp, name string) []synth.RandOp {
+	out := ops[:0]
+	for _, op := range ops {
+		if (op.Kind == synth.RopCall || op.Kind == synth.RopCallInd) && op.Callee == name {
+			continue
+		}
+		op.Body = removeCalls(op.Body, name)
+		for a := range op.Arms {
+			op.Arms[a] = removeCalls(op.Arms[a], name)
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// shrinkOps runs the op-level reductions over every procedure.
+func (s *shrinker) shrinkOps(p *synth.RandProgram) bool {
+	changed := false
+	for pi := range p.Procs {
+		for {
+			reduced := false
+			// Each reduction candidate is expressed as "clone the whole
+			// program, apply one edit at op position k of procedure pi".
+			n := countEdits(p.Procs[pi].Ops)
+			for k := 0; k < n; k++ {
+				cand := p.Clone()
+				if !applyEdit(&cand.Procs[pi].Ops, k) {
+					continue
+				}
+				cand.Procs[pi].Frameless = !procNeedsFrame(cand.Procs[pi].Ops)
+				if s.stillFails(cand) {
+					*p = *cand
+					reduced = true
+					break // op indices shifted; restart this procedure
+				}
+			}
+			if !reduced {
+				break
+			}
+			changed = true
+			if s.checks >= maxShrinkChecks {
+				return changed
+			}
+		}
+	}
+	return changed
+}
+
+// countEdits returns how many single edits exist for an op list: one
+// "remove" per op plus one "simplify" per compound op.
+func countEdits(ops []synth.RandOp) int {
+	n := 0
+	for i := range ops {
+		n += 2 // remove; simplify (no-op for plain instructions)
+		n += countEdits(ops[i].Body)
+		for _, arm := range ops[i].Arms {
+			n += countEdits(arm)
+		}
+	}
+	return n
+}
+
+// applyEdit applies the k-th edit to the op tree, returning whether an
+// actual change was made (simplify on a RopRaw is a no-op).
+func applyEdit(ops *[]synth.RandOp, k int) bool {
+	return editWalk(ops, &k)
+}
+
+// editWalk walks the op tree pre-order, spending one unit of *k per edit
+// slot (remove, then simplify, per op, then the op's subtrees). When *k
+// reaches 0 at a slot, that edit is applied.
+func editWalk(ops *[]synth.RandOp, k *int) bool {
+	for i := 0; i < len(*ops); i++ {
+		if *k == 0 { // remove op i
+			*ops = append((*ops)[:i], (*ops)[i+1:]...)
+			return true
+		}
+		*k--
+		if *k == 0 { // simplify op i in place
+			return simplify(ops, i)
+		}
+		*k--
+		op := &(*ops)[i]
+		if editWalk(&op.Body, k) {
+			return true
+		}
+		for a := range op.Arms {
+			if editWalk(&op.Arms[a], k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// simplify reduces a compound op one notch: unwrap a Loop/If into its
+// body, reduce a loop trip count to 1, keep only a Switch's first arm.
+func simplify(ops *[]synth.RandOp, i int) bool {
+	op := (*ops)[i]
+	switch op.Kind {
+	case synth.RopLoop:
+		if op.N > 1 {
+			(*ops)[i].N = 1
+			return true
+		}
+		*ops = spliceOps(*ops, i, op.Body)
+		return true
+	case synth.RopIf:
+		*ops = spliceOps(*ops, i, op.Body)
+		return true
+	case synth.RopSwitch:
+		*ops = spliceOps(*ops, i, op.Arms[0])
+		return true
+	}
+	return false
+}
+
+// spliceOps replaces ops[i] with the given replacement sequence.
+func spliceOps(ops []synth.RandOp, i int, repl []synth.RandOp) []synth.RandOp {
+	out := make([]synth.RandOp, 0, len(ops)-1+len(repl))
+	out = append(out, ops[:i]...)
+	out = append(out, repl...)
+	out = append(out, ops[i+1:]...)
+	return out
+}
+
+// shrinkSpec reduces generator-level knobs that the renderer consumes
+// directly: the data-initialisation prologue length.
+func (s *shrinker) shrinkSpec(p *synth.RandProgram) bool {
+	changed := false
+	for p.Spec.DataWords > 0 {
+		cand := p.Clone()
+		cand.Spec.DataWords = p.Spec.DataWords / 2
+		if !s.stillFails(cand) {
+			break
+		}
+		*p = *cand
+		changed = true
+	}
+	return changed
+}

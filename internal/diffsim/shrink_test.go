@@ -1,0 +1,67 @@
+package diffsim
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestShrinkReducesSeededFailure plants a known bug, confirms the full
+// random program fails, and requires the shrinker to cut it to at most
+// 30 instructions while still failing.
+func TestShrinkReducesSeededFailure(t *testing.T) {
+	opts := Options{ShadowRF: false, Mutation: MutationByName("dict-index-off-by-one")}
+	for _, seed := range []int64{3, 42} {
+		p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
+		f, err := Check(p, opts)
+		if err != nil {
+			t.Fatalf("seed %d: inconclusive: %v", seed, err)
+		}
+		if f == nil {
+			t.Fatalf("seed %d: injected bug not detected before shrinking", seed)
+		}
+		before := p.InstrCount()
+		shrunk, checks := Shrink(p, opts)
+		after := shrunk.InstrCount()
+		if after <= 0 {
+			t.Fatalf("seed %d: shrunk program does not assemble", seed)
+		}
+		if after > 30 {
+			t.Fatalf("seed %d: shrunk to %d instructions, want <= 30\n%s",
+				seed, after, shrunk.Render())
+		}
+		if after >= before {
+			t.Fatalf("seed %d: no reduction (%d -> %d)", seed, before, after)
+		}
+		// The reduced program must still fail the same way.
+		f2, err := Check(shrunk, opts)
+		if err != nil || f2 == nil {
+			t.Fatalf("seed %d: shrunk program no longer fails (f=%v err=%v)", seed, f2, err)
+		}
+		t.Logf("seed %d: %d -> %d instructions in %d checks", seed, before, after, checks)
+	}
+}
+
+// TestShrinkPreservesInput verifies Shrink works on a clone: the caller's
+// program is untouched.
+func TestShrinkPreservesInput(t *testing.T) {
+	opts := Options{ShadowRF: false, Mutation: MutationByName("dict-index-off-by-one")}
+	p := synth.GenerateRandom(synth.DefaultRandSpec(42))
+	orig := p.Render()
+	Shrink(p, opts)
+	if p.Render() != orig {
+		t.Fatal("Shrink mutated its input program")
+	}
+}
+
+// TestShrinkBounded: the shrinker must respect its evaluation budget
+// even when every candidate still fails (the predicate is maximally
+// permissive from the shrinker's perspective).
+func TestShrinkBounded(t *testing.T) {
+	opts := Options{ShadowRF: false, Mutation: MutationByName("dict-index-off-by-one")}
+	p := synth.GenerateRandom(synth.DefaultRandSpec(7))
+	_, checks := Shrink(p, opts)
+	if checks > maxShrinkChecks {
+		t.Fatalf("shrinker spent %d checks, budget is %d", checks, maxShrinkChecks)
+	}
+}

@@ -1,0 +1,114 @@
+package experiment
+
+// Golden-file tests for the CSV outputs. The whole pipeline — synthetic
+// program generation, both compressors, the simulator, and the CSV
+// formatting — is deterministic, so the generated files must match the
+// checked-in goldens byte for byte. Any drift (a compressor tie-break
+// change, a timing-model tweak, a float-formatting change) fails here
+// with a diff instead of silently shifting the paper's reproduced
+// numbers.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/experiment -run TestGoldenCSV -update
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV files")
+
+var goldenFiles = []string{
+	"table2.csv", "table3.csv", "fig4_dict.csv", "fig4_codepack.csv", "fig5.csv",
+}
+
+func TestGoldenCSV(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSuite(0.1)
+	s.Only = []string{"pegwit"}
+	if err := s.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	goldenDir := filepath.Join("testdata", "golden")
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range goldenFiles {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		goldenPath := filepath.Join(goldenDir, name)
+		if *update {
+			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update to create): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: output differs from golden\n%s", name, firstDiff(want, got))
+		}
+	}
+}
+
+// TestGoldenDeterminism regenerates the CSVs a second time in-process:
+// if this fails, the pipeline itself is nondeterministic and the golden
+// files above would be flaky — fix the nondeterminism, not the goldens.
+func TestGoldenDeterminism(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	for _, dir := range []string{dirA, dirB} {
+		s := NewSuite(0.1)
+		s.Only = []string{"pegwit"}
+		if err := s.WriteCSV(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range goldenFiles {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two in-process runs differ\n%s", name, firstDiff(a, b))
+		}
+	}
+}
+
+// firstDiff renders the first differing line of two CSV bodies.
+func firstDiff(want, got []byte) string {
+	wl := strings.Split(string(want), "\n")
+	gl := strings.Split(string(got), "\n")
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	return "lengths differ"
+}

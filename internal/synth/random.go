@@ -1,0 +1,473 @@
+package synth
+
+// Seeded random-program generation for the differential co-simulation
+// harness (internal/diffsim). Unlike the calibrated benchmark stand-ins
+// in gen.go — whose bodies are straight-line pool instructions — random
+// programs exercise the control-flow and architectural surface that
+// cross-layer compression bugs hide behind: nested bounded loops,
+// direct and table-indirect procedure calls returning through $ra,
+// forward conditional branches, jr jump tables, HI/LO arithmetic, and
+// $gp-relative loads/stores.
+//
+// A program is generated as a small typed IR (RandProgram) and rendered
+// to CLR32 assembly text, so a failing case can be re-rendered after
+// delta-debugging and committed as a plain .s reproducer. Generation is
+// fully deterministic in the seed, and every generated program
+// terminates: loop bounds are compile-time constants, calls only target
+// higher-numbered procedures (the call graph is acyclic), and calls
+// never appear inside loop bodies.
+//
+// Register discipline (what makes four-way lockstep comparison sound):
+// code addresses only ever live in $ra and $t9, which the verifier
+// masks; data registers (wideRegs) never receive a code address, so
+// they compare exactly across re-laid-out images; $s0/$s1 are loop
+// counters saved by every framed procedure; $s7 is main's checksum;
+// $v1 and $at are dispatch scratch.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// RandSpec bounds the shape of one random program.
+type RandSpec struct {
+	Seed      int64
+	Procs     int // procedures besides main (may be 0)
+	MaxOps    int // max top-level ops per procedure body
+	MaxLoop   int // max loop iteration count
+	MaxCalls  int // max call sites per procedure
+	DataWords int // data-area words initialised by main (beyond the zero fill)
+}
+
+// DefaultRandSpec derives a bounded spec from a seed. The bounds keep a
+// single case cheap enough that a CI smoke run of thousands of cases
+// stays within its time budget while still spanning multiple I-cache
+// lines and exercising every op kind over a campaign.
+func DefaultRandSpec(seed int64) RandSpec {
+	r := rand.New(rand.NewSource(seed))
+	return RandSpec{
+		Seed:      seed,
+		Procs:     2 + r.Intn(6),  // 2..7
+		MaxOps:    4 + r.Intn(7),  // 4..10
+		MaxLoop:   2 + r.Intn(3),  // 2..4
+		MaxCalls:  1 + r.Intn(2),  // 1..2
+		DataWords: 4 + r.Intn(12), // 4..15
+	}
+}
+
+// RopKind discriminates RandOp.
+type RopKind int
+
+// Random-program op kinds.
+const (
+	RopRaw     RopKind = iota // one safe straight-line instruction
+	RopLoop                   // counted loop: li $sN; body; addiu -1; bgtz
+	RopIf                     // conditional forward branch over Body
+	RopCall                   // jal Callee (direct)
+	RopCallInd                // la/lw/jalr through a .data word (indirect)
+	RopSwitch                 // jr jump table over Arms
+	RopHiLo                   // mult/div + mfhi/mflo
+)
+
+// RandOp is one IR node of a generated procedure body.
+type RandOp struct {
+	Kind   RopKind
+	Word   uint32     // RopRaw: encoded instruction
+	N      int        // RopLoop: iteration count
+	Br     string     // RopIf: branch mnemonic (beq/bne/blez/bgtz/bltz/bgez)
+	A, B   int        // RopIf: condition registers; RopHiLo: operands; RopSwitch: selector (A)
+	MD     string     // RopHiLo: mult/multu/div/divu
+	D1, D2 int        // RopHiLo: mfhi/mflo destinations
+	Callee string     // RopCall/RopCallInd: target procedure name
+	Body   []RandOp   // RopLoop/RopIf
+	Arms   [][]RandOp // RopSwitch (len 2 or 4)
+}
+
+// RandProc is one generated procedure.
+type RandProc struct {
+	Name      string
+	Frameless bool // leaf without loops: body + jr $ra only
+	Ops       []RandOp
+}
+
+// RandProgram is the IR of one generated program.
+type RandProgram struct {
+	Spec  RandSpec
+	Procs []*RandProc
+}
+
+// GenerateRandom builds a random program from the spec, deterministically
+// in Spec.Seed.
+func GenerateRandom(spec RandSpec) *RandProgram {
+	r := rand.New(rand.NewSource(spec.Seed ^ 0x5ee0d1f5))
+	p := &RandProgram{Spec: spec}
+	for i := 0; i < spec.Procs; i++ {
+		p.Procs = append(p.Procs, genProc(r, spec, i))
+	}
+	return p
+}
+
+func randProcName(i int) string { return fmt.Sprintf("r%02d", i) }
+
+// genProc generates procedure i. Calls target only procedures with a
+// strictly larger index, so the static call graph is acyclic.
+func genProc(r *rand.Rand, spec RandSpec, i int) *RandProc {
+	p := &RandProc{Name: randProcName(i)}
+	nops := 1 + r.Intn(spec.MaxOps)
+	callBudget := spec.MaxCalls
+	canCall := i+1 < spec.Procs
+	for j := 0; j < nops; j++ {
+		p.Ops = append(p.Ops, genOp(r, spec, i, 0, &callBudget, canCall))
+	}
+	p.Frameless = !hasCalls(p.Ops) && !hasLoops(p.Ops)
+	return p
+}
+
+// genOp generates one op at the given loop-nesting depth. Calls are
+// forbidden inside loops (so dynamic call counts stay bounded by the
+// static call-site count) and deeper than one If.
+func genOp(r *rand.Rand, spec RandSpec, proc, depth int, callBudget *int, canCall bool) RandOp {
+	k := r.Intn(100)
+	switch {
+	case k < 40: // straight-line instruction
+		return RandOp{Kind: RopRaw, Word: genWord(r, false)}
+	case k < 50 && depth < 2: // counted loop
+		body := make([]RandOp, 0, 3)
+		for n := 1 + r.Intn(3); n > 0; n-- {
+			body = append(body, genOp(r, spec, proc, depth+1, callBudget, false))
+		}
+		return RandOp{Kind: RopLoop, N: 1 + r.Intn(spec.MaxLoop), Body: body}
+	case k < 62: // forward conditional branch
+		body := make([]RandOp, 0, 3)
+		for n := 1 + r.Intn(3); n > 0; n-- {
+			body = append(body, genOp(r, spec, proc, depth+1, callBudget, canCall && depth == 0))
+		}
+		br := []string{"beq", "bne", "blez", "bgtz", "bltz", "bgez"}[r.Intn(6)]
+		return RandOp{Kind: RopIf, Br: br, A: randWideReg(r), B: randWideReg(r), Body: body}
+	case k < 74 && canCall && depth == 0 && *callBudget > 0: // procedure call
+		*callBudget--
+		// Targets stay within a short window above the caller so call
+		// chains fan out without exploding the dynamic call count.
+		lo := proc + 1
+		hi := proc + 3
+		if hi >= spec.Procs {
+			hi = spec.Procs - 1
+		}
+		callee := randProcName(lo + r.Intn(hi-lo+1))
+		kind := RopCall
+		if r.Intn(3) == 0 {
+			kind = RopCallInd
+		}
+		return RandOp{Kind: kind, Callee: callee}
+	case k < 82 && depth < 2: // jr jump table
+		arms := make([][]RandOp, []int{2, 4}[r.Intn(2)])
+		for a := range arms {
+			for n := 1 + r.Intn(2); n > 0; n-- {
+				arms[a] = append(arms[a], RandOp{Kind: RopRaw, Word: genWord(r, false)})
+			}
+		}
+		return RandOp{Kind: RopSwitch, A: randWideReg(r), Arms: arms}
+	case k < 92: // HI/LO arithmetic
+		md := []string{"mult", "multu", "div", "divu"}[r.Intn(4)]
+		return RandOp{Kind: RopHiLo, MD: md,
+			A: randWideReg(r), B: randWideReg(r), D1: randWideReg(r), D2: randWideReg(r)}
+	default:
+		return RandOp{Kind: RopRaw, Word: genWord(r, false)}
+	}
+}
+
+func randWideReg(r *rand.Rand) int { return wideRegs[r.Intn(len(wideRegs))] }
+
+func hasCalls(ops []RandOp) bool {
+	for i := range ops {
+		switch ops[i].Kind {
+		case RopCall, RopCallInd:
+			return true
+		}
+		if hasCalls(ops[i].Body) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasLoops(ops []RandOp) bool {
+	for i := range ops {
+		if ops[i].Kind == RopLoop {
+			return true
+		}
+		if hasLoops(ops[i].Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callees returns the set of procedure names the ops call (recursively),
+// split by call kind.
+func callees(ops []RandOp, direct, indirect map[string]bool) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case RopCall:
+			direct[op.Callee] = true
+		case RopCallInd:
+			indirect[op.Callee] = true
+		}
+		callees(op.Body, direct, indirect)
+		for _, arm := range op.Arms {
+			callees(arm, direct, indirect)
+		}
+	}
+}
+
+// CalledProcs returns every procedure name referenced by a call anywhere
+// in the program.
+func (p *RandProgram) CalledProcs() map[string]bool {
+	direct := make(map[string]bool)
+	indirect := make(map[string]bool)
+	for _, pr := range p.Procs {
+		callees(pr.Ops, direct, indirect)
+	}
+	for n := range indirect {
+		direct[n] = true
+	}
+	return direct
+}
+
+// renderer emits the program as CLR32 assembly text.
+type renderer struct {
+	b     strings.Builder
+	data  strings.Builder // .data declarations (jump tables, call words)
+	label int             // per-program label counter
+	proc  string          // current procedure name
+	seen  map[string]bool // .data declarations already emitted
+	spec  RandSpec
+}
+
+func (rn *renderer) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&rn.b, format+"\n", args...)
+}
+
+func (rn *renderer) ins(format string, args ...interface{}) {
+	rn.b.WriteString("        ")
+	fmt.Fprintf(&rn.b, format+"\n", args...)
+}
+
+func (rn *renderer) newLabel(tag string) string {
+	rn.label++
+	return fmt.Sprintf("%s_%s%d", rn.proc, tag, rn.label)
+}
+
+// Render returns the program as assembly source. The same IR always
+// renders to the same text, so a shrunk program is committable verbatim.
+func (p *RandProgram) Render() string {
+	rn := &renderer{spec: p.Spec}
+
+	// Procedure bodies first (into rn.b), collecting .data declarations
+	// (jump tables, indirect-call words) on the side.
+	var text strings.Builder
+	rn.renderMain(p)
+	for _, pr := range p.Procs {
+		rn.renderProc(pr)
+	}
+	text.WriteString(rn.b.String())
+
+	var out strings.Builder
+	out.WriteString("# Generated by internal/synth (random differential test program).\n")
+	fmt.Fprintf(&out, "# Seed %d: procs=%d maxops=%d maxloop=%d\n",
+		p.Spec.Seed, p.Spec.Procs, p.Spec.MaxOps, p.Spec.MaxLoop)
+	out.WriteString("        .data\n")
+	out.WriteString("data_area:\n")
+	fmt.Fprintf(&out, "        .space %d\n", dataBytes)
+	out.WriteString(rn.data.String())
+	out.WriteString("        .text\n")
+	out.WriteString("        .entry main\n")
+	out.WriteString(text.String())
+	return out.String()
+}
+
+// renderMain emits main: it initialises $gp and the data area, calls
+// every root procedure (one with no static caller), accumulates the
+// returned $v0 values into a checksum, prints it and exits 0.
+func (rn *renderer) renderMain(p *RandProgram) {
+	rn.proc = "main"
+	rn.emit("        .proc main")
+	rn.emit("main:")
+	rn.ins("la    $gp, data_area")
+	rn.ins("ori   $s7, $zero, 0")
+	// Seed the data area with a few deterministic words so early loads
+	// are not all zero.
+	r := rand.New(rand.NewSource(p.Spec.Seed ^ 0x0da7a))
+	for i := 0; i < p.Spec.DataWords; i++ {
+		rn.ins("li    $t0, %d", r.Uint32()&0xFFFF)
+		rn.ins("sw    $t0, %d($gp)", 4*i)
+	}
+	called := p.CalledProcs()
+	for _, pr := range p.Procs {
+		if called[pr.Name] {
+			continue // reached through another procedure
+		}
+		rn.ins("jal   %s", pr.Name)
+		rn.ins("xor   $s7, $s7, $v0")
+	}
+	rn.ins("move  $a0, $s7")
+	rn.ins("li    $v0, %d", isa.SysPrintHex)
+	rn.ins("syscall")
+	rn.ins("move  $a0, $zero")
+	rn.ins("li    $v0, %d", isa.SysExit)
+	rn.ins("syscall")
+	rn.emit("        .endp")
+}
+
+func (rn *renderer) renderProc(pr *RandProc) {
+	rn.proc = pr.Name
+	rn.emit("        .proc %s", pr.Name)
+	rn.emit("%s:", pr.Name)
+	if !pr.Frameless {
+		rn.ins("addiu $sp, $sp, -16")
+		rn.ins("sw    $ra, 12($sp)")
+		rn.ins("sw    $s0, 0($sp)")
+		rn.ins("sw    $s1, 4($sp)")
+	}
+	rn.renderOps(pr.Ops, 0)
+	if !pr.Frameless {
+		rn.ins("lw    $ra, 12($sp)")
+		rn.ins("lw    $s0, 0($sp)")
+		rn.ins("lw    $s1, 4($sp)")
+		rn.ins("addiu $sp, $sp, 16")
+	}
+	rn.ins("jr    $ra")
+	rn.emit("        .endp")
+}
+
+func (rn *renderer) renderOps(ops []RandOp, depth int) {
+	for i := range ops {
+		rn.renderOp(&ops[i], depth)
+	}
+}
+
+func (rn *renderer) renderOp(op *RandOp, depth int) {
+	switch op.Kind {
+	case RopRaw:
+		rn.ins("%s", isa.Disassemble(0, op.Word))
+	case RopLoop:
+		counter := "$s0"
+		if depth > 0 {
+			counter = "$s1"
+		}
+		top := rn.newLabel("lp")
+		rn.ins("li    %s, %d", counter, op.N)
+		rn.emit("%s:", top)
+		rn.renderOps(op.Body, depth+1)
+		rn.ins("addiu %s, %s, -1", counter, counter)
+		rn.ins("bgtz  %s, %s", counter, top)
+	case RopIf:
+		end := rn.newLabel("if")
+		switch op.Br {
+		case "beq", "bne":
+			rn.ins("%-5s %s, %s, %s", op.Br, isa.RegName(op.A), isa.RegName(op.B), end)
+		default:
+			rn.ins("%-5s %s, %s", op.Br, isa.RegName(op.A), end)
+		}
+		rn.renderOps(op.Body, depth+1)
+		rn.emit("%s:", end)
+	case RopCall:
+		rn.ins("jal   %s", op.Callee)
+	case RopCallInd:
+		word := "pt_" + op.Callee
+		rn.declOnce(word, fmt.Sprintf("%s:  .word %s\n", word, op.Callee))
+		rn.ins("la    $at, %s", word)
+		rn.ins("lw    $t9, 0($at)")
+		rn.ins("jalr  $t9")
+	case RopSwitch:
+		table := rn.newLabel("jt")
+		end := table + "_end"
+		var decl strings.Builder
+		fmt.Fprintf(&decl, "%s:", table)
+		for a := range op.Arms {
+			fmt.Fprintf(&decl, " .word %s_a%d\n", table, a)
+			if a != len(op.Arms)-1 {
+				decl.WriteString("       ")
+			}
+		}
+		rn.data.WriteString(decl.String())
+		rn.ins("andi  $v1, %s, %d", isa.RegName(op.A), len(op.Arms)-1)
+		rn.ins("sll   $v1, $v1, 2")
+		rn.ins("la    $at, %s", table)
+		rn.ins("addu  $at, $at, $v1")
+		rn.ins("lw    $t9, 0($at)")
+		rn.ins("jr    $t9")
+		for a, arm := range op.Arms {
+			rn.emit("%s_a%d:", table, a)
+			rn.renderOps(arm, depth+1)
+			rn.ins("b     %s", end)
+		}
+		rn.emit("%s:", end)
+	case RopHiLo:
+		rn.ins("%-5s %s, %s", op.MD, isa.RegName(op.A), isa.RegName(op.B))
+		rn.ins("mfhi  %s", isa.RegName(op.D1))
+		rn.ins("mflo  %s", isa.RegName(op.D2))
+	}
+}
+
+// declOnce appends a .data declaration the first time key is used.
+func (rn *renderer) declOnce(key, decl string) {
+	if rn.seen == nil {
+		rn.seen = make(map[string]bool)
+	}
+	if rn.seen[key] {
+		return
+	}
+	rn.seen[key] = true
+	rn.data.WriteString(decl)
+}
+
+// Build assembles the rendered program into a native image.
+func (p *RandProgram) Build() (*program.Image, error) {
+	return asm.Assemble(p.Render())
+}
+
+// InstrCount returns the static instruction count of the rendered
+// program (text bytes / 4), or -1 if it fails to assemble.
+func (p *RandProgram) InstrCount() int {
+	im, err := p.Build()
+	if err != nil {
+		return -1
+	}
+	return len(im.Segment(program.SegText).Data) / 4
+}
+
+// Clone deep-copies the program so shrink candidates can be mutated
+// freely.
+func (p *RandProgram) Clone() *RandProgram {
+	q := &RandProgram{Spec: p.Spec}
+	for _, pr := range p.Procs {
+		q.Procs = append(q.Procs, &RandProc{
+			Name: pr.Name, Frameless: pr.Frameless, Ops: cloneOps(pr.Ops)})
+	}
+	return q
+}
+
+func cloneOps(ops []RandOp) []RandOp {
+	if ops == nil {
+		return nil
+	}
+	out := make([]RandOp, len(ops))
+	for i, op := range ops {
+		out[i] = op
+		out[i].Body = cloneOps(op.Body)
+		if op.Arms != nil {
+			out[i].Arms = make([][]RandOp, len(op.Arms))
+			for a, arm := range op.Arms {
+				out[i].Arms[a] = cloneOps(arm)
+			}
+		}
+	}
+	return out
+}
