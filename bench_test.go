@@ -196,6 +196,45 @@ func BenchmarkDecompressionPath(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead is the overhead guard for the telemetry
+// layer: Off runs the simulator exactly as the seed did (no collector,
+// hooks nil — the CPI stack's array adds are the only always-on cost),
+// On attaches the full collector. Compare the two with benchstat; Off
+// must stay within ~2% of the pre-telemetry seed, and the gap between
+// Off and On is the price of the hooks.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	im, err := rtd.BuildBenchmarkScaled("go", 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := rtd.Compress(im, rtd.Options{Scheme: rtd.SchemeDict, ShadowRF: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		var instrs uint64
+		for i := 0; i < b.N; i++ {
+			out, err := rtd.Run(res.Image, rtd.DefaultMachine())
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += out.Stats.Instrs + out.Stats.HandlerInstrs
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+	})
+	b.Run("on", func(b *testing.B) {
+		var instrs uint64
+		for i := 0; i < b.N; i++ {
+			out, _, _, err := rtd.InstrumentedRun(res.Image, rtd.DefaultMachine())
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += out.Stats.Instrs + out.Stats.HandlerInstrs
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+	})
+}
+
 // BenchmarkAssembler measures text-assembly throughput on the dictionary
 // handler source.
 func BenchmarkAssembler(b *testing.B) {

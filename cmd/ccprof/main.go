@@ -1,0 +1,228 @@
+// Command ccprof is the simulator's profiler front end: it runs a
+// program (native or compressed) with the full telemetry layer attached
+// and reports where every cycle went — the CPI stack, exception-latency
+// and fill-latency histograms, per-set cache heatmaps — plus optional
+// Chrome trace-event JSON (open in https://ui.perfetto.dev) and folded
+// flamegraph stacks (flamegraph.pl / speedscope).
+//
+//	ccprof prog.img                     profile an image (report to stdout)
+//	ccprof prog.s                       assemble + profile
+//	ccprof prog.mc                      compile MiniC + profile
+//	ccprof -bench pegwit -scale 0.1     profile a synthetic benchmark
+//	ccprof -scheme codepack prog.img    compress a native image, then profile
+//	ccprof -scheme dict -rf -selective 0.05 prog.img
+//	                                    selective compression: hottest 5%
+//	                                    (by misses) stays native
+//	ccprof -format json -trace trace.json -folded profile.folded prog.img
+//
+// The simulated program's own output goes to stderr so the report stream
+// stays machine-readable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/minic"
+	"repro/internal/program"
+	"repro/internal/selective"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ccprof: ")
+	var (
+		bench     = flag.String("bench", "", "profile a synthetic benchmark instead of a file")
+		scale     = flag.Float64("scale", 1.0, "dynamic length multiplier for -bench")
+		scheme    = flag.String("scheme", "native", "compression scheme: native, dict, codepack, procdict, copy")
+		shadowRF  = flag.Bool("rf", false, "give the handler a shadow register file")
+		selFrac   = flag.Float64("selective", 0, "fraction of the program (by misses) kept native")
+		icacheKB  = flag.Int("icache", 16, "I-cache size in KB")
+		maxInstr  = flag.Uint64("max", 2_000_000_000, "instruction budget")
+		format    = flag.String("format", "text", "report format: text, csv, json")
+		outPath   = flag.String("o", "", "write the report here instead of stdout")
+		tracePath = flag.String("trace", "", "write Chrome trace-event JSON here")
+		foldPath  = flag.String("folded", "", "write folded flamegraph stacks here")
+	)
+	flag.Parse()
+	if (*bench == "") == (flag.NArg() != 1) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	im, name, err := loadImage(*bench, *scale, flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := cpu.DefaultConfig()
+	cfg.ICache.SizeBytes = *icacheKB * 1024
+	cfg.MaxInstr = *maxInstr
+
+	// Compress on the fly when asked. A -selective fraction needs a
+	// profiled native run first to know which procedures are hot.
+	if *scheme != "native" {
+		if im.Compress != nil {
+			log.Fatalf("%s is already compressed (%s); drop -scheme", name, im.Compress.Scheme)
+		}
+		opts := core.Options{Scheme: program.Scheme(*scheme), ShadowRF: *shadowRF}
+		if *selFrac > 0 {
+			prof, err := nativeProfile(im, cfg)
+			if err != nil {
+				log.Fatalf("selective pre-run: %v", err)
+			}
+			opts.NativeProcs = selective.Select(prof, selective.ByMisses, *selFrac)
+		}
+		res, err := core.Compress(im, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im = res.Image
+	}
+
+	col := telemetry.New()
+	prof, rep, err := profiledRun(im, cfg, col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Image = name
+	rep.Scheme = schemeOf(im)
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "text":
+		err = rep.WriteText(out, col)
+	case "csv":
+		err = rep.WriteCSV(out)
+	case "json":
+		err = rep.WriteJSON(out)
+	default:
+		log.Fatalf("unknown -format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *tracePath != "" {
+		writeFile(*tracePath, func(f *os.File) error { return col.WriteChromeTrace(f, im) })
+	}
+	if *foldPath != "" {
+		writeFile(*foldPath, func(f *os.File) error { return telemetry.WriteFolded(f, prof) })
+	}
+}
+
+// loadImage resolves the run target: a named synthetic benchmark, an
+// assembly or MiniC source file, or a linked image file.
+func loadImage(bench string, scale float64, args []string) (*program.Image, string, error) {
+	if bench != "" {
+		for _, p := range synth.Benchmarks() {
+			if p.Name != bench {
+				continue
+			}
+			if scale > 0 && scale != 1 {
+				p = p.Scale(scale)
+			}
+			im, err := synth.Build(p)
+			return im, bench, err
+		}
+		return nil, "", fmt.Errorf("unknown benchmark %q", bench)
+	}
+	path := args[0]
+	name := filepath.Base(path)
+	switch {
+	case strings.HasSuffix(path, ".s"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		im, err := asm.Assemble(string(src))
+		return im, name, err
+	case strings.HasSuffix(path, ".mc"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, "", err
+		}
+		im, err := minic.Compile(string(src))
+		return im, name, err
+	default:
+		im, err := program.LoadFile(path)
+		return im, name, err
+	}
+}
+
+// nativeProfile runs the native image once to collect the per-procedure
+// profile that drives selective compression.
+func nativeProfile(im *program.Image, cfg cpu.Config) (*cpu.ProcProfile, error) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prof := cpu.NewProcProfile(im)
+	c.Prof = prof
+	c.Out = os.Stderr
+	if err := c.Load(im); err != nil {
+		return nil, err
+	}
+	if _, err := c.Run(); err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// profiledRun executes im with the collector and profiler attached and
+// digests the machine into a report.
+func profiledRun(im *program.Image, cfg cpu.Config, col *telemetry.Collector) (*cpu.ProcProfile, *telemetry.Report, error) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	col.Attach(c)
+	prof := cpu.NewProcProfile(im)
+	c.Prof = prof
+	c.Out = os.Stderr
+	if err := c.Load(im); err != nil {
+		return nil, nil, err
+	}
+	if _, err := c.Run(); err != nil {
+		return nil, nil, err
+	}
+	return prof, telemetry.NewReport(c, col), nil
+}
+
+func schemeOf(im *program.Image) string {
+	if im.Compress == nil {
+		return "native"
+	}
+	return string(im.Compress.Scheme)
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -13,6 +13,7 @@
 //	experiments -granularity      line vs procedure decompression granularity
 //	experiments -latency          exception service latency per handler
 //	experiments -hardware         software vs hardware decompression
+//	experiments -cpistack         per-benchmark CPI stacks (cycle attribution)
 //	experiments -compare          measured values side by side with the paper's
 //	experiments -all              everything above
 //
@@ -47,13 +48,14 @@ func main() {
 		gran     = flag.Bool("granularity", false, "compare line vs procedure decompression granularity")
 		latency  = flag.Bool("latency", false, "measure exception service latency per handler")
 		hw       = flag.Bool("hardware", false, "compare software vs hardware decompression")
+		cpistack = flag.Bool("cpistack", false, "print per-benchmark CPI stacks (cycle attribution)")
 		comp     = flag.Bool("compare", false, "print measured values side by side with the paper's")
 		csvDir   = flag.String("csv", "", "also write CSV files for plotting into this directory")
 		scale    = flag.Float64("scale", 1.0, "dynamic length multiplier")
 		only     = flag.String("only", "", "comma-separated benchmark subset")
 	)
 	flag.Parse()
-	if !(*all || *table1 || *table2 || *table3 || *fig4 || *fig5 || *handlers || *layout || *ablate || *place || *gran || *latency || *hw || *comp || *csvDir != "") {
+	if !(*all || *table1 || *table2 || *table3 || *fig4 || *fig5 || *handlers || *layout || *ablate || *place || *gran || *latency || *hw || *cpistack || *comp || *csvDir != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -113,6 +115,11 @@ func main() {
 		rows, err := s.HardwareVsSoftware()
 		check(err)
 		fmt.Println(experiment.FormatHardware(rows))
+	}
+	if *all || *cpistack {
+		rows, err := s.CPIStacks()
+		check(err)
+		fmt.Println(experiment.FormatCPIStacks(rows))
 	}
 	if *all || *comp {
 		out, err := s.Compare()

@@ -7,6 +7,11 @@
 //	simrun -profile prog.img             per-procedure exec/miss profile
 //	simrun -trace 40 prog.img            dump the last 40 instructions
 //	simrun -compare native.img comp.img  run both, report the slowdown
+//	simrun -telemetry prog.img           CPI stack, histograms, cache heatmaps
+//	simrun -json prog.img                machine-readable report on stdout
+//
+// With -json the simulated program's own output goes to stderr so stdout
+// is pure JSON; the field names are the stable ones shared with ccprof.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -31,6 +37,8 @@ func main() {
 		compare  = flag.Bool("compare", false, "run two images and report the slowdown")
 		maxInstr = flag.Uint64("max", 2_000_000_000, "instruction budget")
 		traceN   = flag.Int("trace", 0, "dump the last N committed instructions")
+		telem    = flag.Bool("telemetry", false, "print the telemetry report (CPI stack, histograms, heatmaps)")
+		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON report on stdout")
 	)
 	flag.Parse()
 	if (*compare && flag.NArg() != 2) || (!*compare && flag.NArg() != 1) {
@@ -42,11 +50,25 @@ func main() {
 	cfg.ICache.SizeBytes = *icacheKB * 1024
 	cfg.MaxInstr = *maxInstr
 
-	first, prof := run(flag.Arg(0), cfg, *profile, *traceN)
+	var col *telemetry.Collector
+	if *telem || *jsonOut {
+		col = telemetry.New()
+	}
+	c, prof, im := run(flag.Arg(0), cfg, *profile, *traceN, col, *jsonOut)
+	first := c.Stats
 	if *compare {
-		second, _ := run(flag.Arg(1), cfg, false, 0)
+		c2, _, _ := run(flag.Arg(1), cfg, false, 0, nil, *jsonOut)
 		fmt.Printf("slowdown: %.3f (%d vs %d cycles)\n",
-			float64(second.Cycles)/float64(first.Cycles), second.Cycles, first.Cycles)
+			float64(c2.Stats.Cycles)/float64(first.Cycles), c2.Stats.Cycles, first.Cycles)
+		return
+	}
+	if *jsonOut {
+		rep := telemetry.NewReport(c, col)
+		rep.Image = flag.Arg(0)
+		rep.Scheme = schemeOf(im)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	s := first
@@ -64,9 +86,24 @@ func main() {
 	if *profile && prof != nil {
 		printProfile(prof)
 	}
+	if *telem {
+		rep := telemetry.NewReport(c, col)
+		rep.Image = flag.Arg(0)
+		rep.Scheme = schemeOf(im)
+		if err := rep.WriteText(os.Stdout, col); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-func run(path string, cfg cpu.Config, profiled bool, traceN int) (cpu.Stats, *cpu.ProcProfile) {
+func schemeOf(im *program.Image) string {
+	if im.Compress == nil {
+		return "native"
+	}
+	return string(im.Compress.Scheme)
+}
+
+func run(path string, cfg cpu.Config, profiled bool, traceN int, col *telemetry.Collector, quiet bool) (*cpu.CPU, *cpu.ProcProfile, *program.Image) {
 	im, err := program.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -74,6 +111,9 @@ func run(path string, cfg cpu.Config, profiled bool, traceN int) (cpu.Stats, *cp
 	c, err := cpu.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if col != nil {
+		col.Attach(c)
 	}
 	var prof *cpu.ProcProfile
 	if profiled {
@@ -86,6 +126,9 @@ func run(path string, cfg cpu.Config, profiled bool, traceN int) (cpu.Stats, *cp
 		ring.Attach(c)
 	}
 	c.Out = os.Stdout
+	if quiet {
+		c.Out = os.Stderr
+	}
 	if err := c.Load(im); err != nil {
 		log.Fatal(err)
 	}
@@ -96,8 +139,10 @@ func run(path string, cfg cpu.Config, profiled bool, traceN int) (cpu.Stats, *cp
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n[%s exited with code %d]\n", path, code)
-	return c.Stats, prof
+	if !quiet {
+		fmt.Printf("\n[%s exited with code %d]\n", path, code)
+	}
+	return c, prof, im
 }
 
 func printProfile(p *cpu.ProcProfile) {

@@ -9,6 +9,11 @@ type Predictor struct {
 
 	Lookups     uint64
 	Mispredicts uint64
+
+	// OnResolve, when set, observes every resolved branch: its address,
+	// the actual direction and whether the prediction was correct. Nil
+	// costs nothing; internal/telemetry counts mispredict events with it.
+	OnResolve func(pc uint32, taken, correct bool)
 }
 
 // New builds a predictor with the given number of entries (a power of
@@ -46,6 +51,9 @@ func (p *Predictor) Update(pc uint32, taken bool) bool {
 	p.Lookups++
 	if pred != taken {
 		p.Mispredicts++
+	}
+	if p.OnResolve != nil {
+		p.OnResolve(pc, taken, pred == taken)
 	}
 	return pred == taken
 }

@@ -59,6 +59,20 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// Observer receives per-set cache events. Every call site is
+// nil-checked, so an unobserved cache pays one pointer compare per
+// event; internal/telemetry's set counters (the cache heatmap)
+// implement it.
+type Observer interface {
+	// CacheMiss reports a lookup miss in set. conflict is true when
+	// every way of the set already held a valid line — the miss will
+	// evict, distinguishing conflict/capacity misses from cold ones.
+	CacheMiss(set int, conflict bool)
+	// CacheEvict reports a valid line being replaced in set (by a fill
+	// or a swic line claim).
+	CacheEvict(set int)
+}
+
 // Cache is one level of the hierarchy.
 type Cache struct {
 	cfg        Config
@@ -69,6 +83,8 @@ type Cache struct {
 	setMask    uint32
 
 	Stats Stats
+	// Obs, when set, observes per-set miss/conflict/eviction events.
+	Obs Observer
 }
 
 // New builds a cache. storesData selects whether line contents are kept;
@@ -142,7 +158,21 @@ func (c *Cache) Access(addr uint32) bool {
 		return true
 	}
 	c.Stats.Misses++
+	if c.Obs != nil {
+		set, _ := c.index(addr)
+		c.Obs.CacheMiss(int(set), c.setFull(set))
+	}
 	return false
+}
+
+// setFull reports whether every way of set holds a valid line.
+func (c *Cache) setFull(set uint32) bool {
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			return false
+		}
+	}
+	return true
 }
 
 // Probe reports presence without touching statistics or LRU state.
@@ -161,6 +191,9 @@ func (c *Cache) victim(set uint32) *line {
 	}
 	if v.valid {
 		c.Stats.Evictions++
+		if c.Obs != nil {
+			c.Obs.CacheEvict(int(set))
+		}
 	}
 	return v
 }

@@ -80,6 +80,10 @@ type Stats struct {
 	// real-time determinism the paper's embedded context cares about.
 	ExcCyclesTotal uint64
 	ExcCyclesMax   uint64
+
+	// CPIStack attributes every cycle above to one component; its sum is
+	// always exactly Cycles (Run self-checks the invariant at exit).
+	CPIStack CPIStack
 }
 
 // AvgExcCycles returns the mean decompression-exception service latency.
@@ -144,7 +148,12 @@ type CPU struct {
 	// Trace, when set, receives every committed instruction (after
 	// execution): its address, encoding and whether it ran inside the
 	// decompression handler. Used by the trace ring in internal/trace.
+	// Prefer AttachTrace over assigning directly: attaching composes
+	// with previously installed tracers instead of replacing them.
 	Trace func(pc, instr uint32, handler bool)
+	// Tel, when set, receives timing events (exception spans, I-cache
+	// fill stalls); internal/telemetry implements it. Nil costs nothing.
+	Tel TelemetrySink
 }
 
 // New builds a CPU with the given configuration.
@@ -244,6 +253,11 @@ func (c *CPU) Run() (int32, error) {
 			return -1, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x",
 				c.Cfg.MaxInstr, c.pc)
 		}
+	}
+	// Hard telemetry invariant: the CPI stack must account for every
+	// cycle the timing model charged. A violation is a simulator bug.
+	if err := c.Stats.CPIStack.Check(c.Stats.Cycles); err != nil {
+		return -1, fmt.Errorf("cpu: %v", err)
 	}
 	return c.exitCode, nil
 }

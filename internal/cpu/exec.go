@@ -51,11 +51,16 @@ func (c *CPU) fetch() (uint32, error) {
 				return 0, fmt.Errorf("cpu: fetch from unmapped address %#x", pc)
 			}
 			line := make([]byte, c.Cfg.ICache.LineBytes)
+			start := c.Stats.Cycles
 			stall := c.Mem.ReadBlock(base, line)
 			c.IC.Fill(base, line)
 			c.Stats.Cycles += uint64(stall)
 			c.Stats.FetchStalls += uint64(stall)
+			c.Stats.CPIStack[CycleFetchStall] += uint64(stall)
 			c.Stats.IMissNative++
+			if c.Tel != nil {
+				c.Tel.IFill(pc, start, uint64(stall), FillNative)
+			}
 			if c.Prof != nil && !c.inHandler {
 				c.Prof.CountMiss(pc)
 			}
@@ -85,13 +90,16 @@ func (c *CPU) hardwareFill(pc uint32) error {
 			line[i] = c.goldenText.Data[a-c.goldenText.Base]
 		}
 	}
-	stall := c.Mem.Bus().BurstCycles(n/2) + c.Cfg.HWDecompressCycles
-	c.Mem.Reads++
-	c.Mem.BytesRead += uint64(n / 2)
+	start := c.Stats.Cycles
+	stall := c.Mem.Burst(n/2) + c.Cfg.HWDecompressCycles
 	c.IC.Fill(base, line)
 	c.Stats.Cycles += uint64(stall)
 	c.Stats.FetchStalls += uint64(stall)
+	c.Stats.CPIStack[CycleExcService] += uint64(stall)
 	c.Stats.IMissCompressed++
+	if c.Tel != nil {
+		c.Tel.IFill(pc, start, uint64(stall), FillHardwareDecomp)
+	}
 	if c.Prof != nil && !c.inHandler {
 		c.Prof.CountMiss(pc)
 	}
@@ -113,7 +121,11 @@ func (c *CPU) raiseDecompress(pc uint32) error {
 	c.Stats.Exceptions++
 	c.Stats.IMissCompressed++
 	c.excStart = c.Stats.Cycles
+	if c.Tel != nil {
+		c.Tel.ExcEnter(pc, c.excStart)
+	}
 	c.Stats.Cycles += uint64(c.Cfg.ExceptionEntry)
+	c.Stats.CPIStack[CycleExcService] += uint64(c.Cfg.ExceptionEntry)
 	if c.Prof != nil {
 		c.Prof.CountMiss(pc)
 	}
@@ -144,6 +156,7 @@ func (c *CPU) execute(w uint32) error {
 		if a, b := isa.SrcRegs(w); a == c.lastLoad || b == c.lastLoad {
 			cycles += uint64(c.Cfg.LoadUsePenalty)
 			c.Stats.LoadUseStalls++
+			c.Stats.CPIStack[CycleLoadUse] += uint64(c.Cfg.LoadUsePenalty)
 		}
 	}
 	c.lastLoad = isa.LoadDest(w)
@@ -167,10 +180,12 @@ func (c *CPU) execute(w uint32) error {
 		case isa.FnJR:
 			next = r[rs]
 			cycles += uint64(c.Cfg.JRPenalty)
+			c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.JRPenalty)
 		case isa.FnJALR:
 			c.setr(r, rd, pc+4)
 			next = r[rs]
 			cycles += uint64(c.Cfg.JRPenalty)
+			c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.JRPenalty)
 			c.countCall(pc, next)
 		case isa.FnSYSCALL:
 			if err := c.syscall(r); err != nil {
@@ -293,6 +308,7 @@ func (c *CPU) execute(w uint32) error {
 			c.lastLoad = -1 // redirect drains the pipeline
 			next = c.c0[4]  // EPC
 			cycles += uint64(c.Cfg.IretCycles)
+			c.Stats.CPIStack[CycleExcService] += uint64(c.Cfg.IretCycles)
 		default:
 			return fmt.Errorf("cpu: illegal cop0 rs %#x at %#x", isa.Rs(w), pc)
 		}
@@ -347,18 +363,31 @@ func (c *CPU) execute(w uint32) error {
 		}
 		c.IC.WriteWord(addr, r[isa.Rt(w)])
 		cycles += uint64(c.Cfg.SwicExtraCycles)
+		if wasHandler {
+			c.Stats.CPIStack[CycleHandler] += uint64(c.Cfg.SwicExtraCycles)
+		} else {
+			c.Stats.CPIStack[CycleUser] += uint64(c.Cfg.SwicExtraCycles)
+		}
 
 	default:
 		return fmt.Errorf("cpu: illegal opcode %#x at %#x", isa.Op(w), pc)
 	}
 
 	c.Stats.Cycles += cycles
+	if wasHandler {
+		c.Stats.CPIStack[CycleHandler]++ // the instruction's base cycle
+	} else {
+		c.Stats.CPIStack[CycleUser]++
+	}
 	if wasHandler && !c.inHandler {
 		// This instruction was the iret: close the exception interval.
 		lat := c.Stats.Cycles - c.excStart
 		c.Stats.ExcCyclesTotal += lat
 		if lat > c.Stats.ExcCyclesMax {
 			c.Stats.ExcCyclesMax = lat
+		}
+		if c.Tel != nil {
+			c.Tel.ExcReturn(next, c.Stats.Cycles, lat)
 		}
 	}
 	if c.Trace != nil {
@@ -403,6 +432,7 @@ func (c *CPU) branch(pc uint32, taken bool) uint64 {
 	if c.BP.Update(pc, taken) {
 		return 0
 	}
+	c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.MispredictPenalty)
 	return uint64(c.Cfg.MispredictPenalty)
 }
 
@@ -412,11 +442,10 @@ func (c *CPU) dRead(addr uint32) uint64 {
 	if c.DC.Access(addr) {
 		return 0
 	}
-	stall := c.Mem.Bus().BurstCycles(c.Cfg.DCache.LineBytes)
-	c.Mem.Reads++
-	c.Mem.BytesRead += uint64(c.Cfg.DCache.LineBytes)
+	stall := c.Mem.Burst(c.Cfg.DCache.LineBytes)
 	c.DC.Fill(c.DC.LineBase(addr), nil)
 	c.Stats.LoadStalls += uint64(stall)
+	c.Stats.CPIStack[CycleLoadStall] += uint64(stall)
 	return uint64(stall)
 }
 

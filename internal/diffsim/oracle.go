@@ -116,6 +116,10 @@ func (o *oracle) checkFinal(results []*verify.MultiResult, cfg cpu.Config) (stri
 			return fmt.Sprintf("cycle accounting: %d cycles but events sum to %d (diff %+d)",
 				s.Cycles, want, int64(s.Cycles)-int64(want)), i
 		}
+		// The telemetry CPI stack must agree with the same total.
+		if err := s.CPIStack.Check(s.Cycles); err != nil {
+			return err.Error(), i
+		}
 		// Cache/exception self-consistency.
 		ic := r.CPU.IC.Stats
 		if ic.Misses != s.IMissNative+s.IMissCompressed {

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+// CPIStackRow is the cycle decomposition of one benchmark under one
+// decompressor configuration — the evidence behind Table 3's slowdowns:
+// it shows *where* the extra cycles of a compressed run go (handler
+// execution vs exception mechanism vs the fetch stalls native code pays
+// anyway).
+type CPIStackRow struct {
+	Bench  string
+	Config string // native, D, D+RF, CP, CP+RF
+	Cycles uint64
+	Instrs uint64 // user instructions
+	Stack  cpu.CPIStack
+}
+
+// cpiConfigs are the Table 3 configurations plus the native baseline.
+var cpiConfigs = []struct {
+	name string
+	opts *core.Options // nil = native
+}{
+	{"native", nil},
+	{"D", &core.Options{Scheme: program.SchemeDict}},
+	{"D+RF", &core.Options{Scheme: program.SchemeDict, ShadowRF: true}},
+	{"CP", &core.Options{Scheme: program.SchemeCodePack}},
+	{"CP+RF", &core.Options{Scheme: program.SchemeCodePack, ShadowRF: true}},
+}
+
+// CPIStacks measures the CPI stack of every benchmark under the native
+// baseline and the four Table 3 configurations at the 16KB I-cache. The
+// attribution invariant (components sum to total cycles) is re-checked
+// for every run.
+func (s *Suite) CPIStacks() ([]CPIStackRow, error) {
+	var rows []CPIStackRow
+	for _, p := range s.Benchmarks() {
+		st, err := s.state(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range cpiConfigs {
+			var o runOutcome
+			if cfg.opts == nil {
+				o, err = s.nativeRun(st, 16)
+			} else {
+				o, _, err = s.compressedRun(st, *cfg.opts, 16)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := o.stats.CPIStack.Check(o.stats.Cycles); err != nil {
+				return nil, fmt.Errorf("%s %s: %v", p.Name, cfg.name, err)
+			}
+			rows = append(rows, CPIStackRow{
+				Bench: p.Name, Config: cfg.name,
+				Cycles: o.stats.Cycles, Instrs: o.stats.Instrs,
+				Stack: o.stats.CPIStack,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCPIStacks renders rows as per-instruction cycle components —
+// CPI split by where the cycles went, one column per component.
+func FormatCPIStacks(rows []CPIStackRow) string {
+	var b strings.Builder
+	b.WriteString("CPI stacks (cycles per user instruction, 16KB I-cache)\n")
+	fmt.Fprintf(&b, "  %-12s %-7s %7s", "benchmark", "config", "CPI")
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		fmt.Fprintf(&b, " %11s", k)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		inst := float64(r.Instrs)
+		if inst == 0 {
+			inst = 1
+		}
+		fmt.Fprintf(&b, "  %-12s %-7s %7.2f", r.Bench, r.Config, float64(r.Cycles)/inst)
+		for _, v := range r.Stack {
+			fmt.Fprintf(&b, " %11.3f", float64(v)/inst)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -6,13 +6,15 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cpu"
 	"repro/internal/program"
 )
 
 // WriteCSV regenerates every table and figure and writes them as CSV
 // files under dir (created if needed), ready for external plotting:
 //
-//	table2.csv, table3.csv, fig4_dict.csv, fig4_codepack.csv, fig5.csv
+//	table2.csv, table3.csv, fig4_dict.csv, fig4_codepack.csv, fig5.csv,
+//	cpistack.csv
 func (s *Suite) WriteCSV(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -78,7 +80,27 @@ func (s *Suite) WriteCSV(dir string) error {
 				f(p.Threshold), f(p.Ratio), f(p.Slowdown), fmt.Sprint(p.Native)})
 		}
 	}
-	return writeCSV(filepath.Join(dir, "fig5.csv"), rows)
+	if err := writeCSV(filepath.Join(dir, "fig5.csv"), rows); err != nil {
+		return err
+	}
+
+	stacks, err := s.CPIStacks()
+	if err != nil {
+		return err
+	}
+	header := []string{"bench", "config", "cycles", "instrs"}
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		header = append(header, k.Key())
+	}
+	rows = [][]string{header}
+	for _, r := range stacks {
+		row := []string{r.Bench, r.Config, fmt.Sprint(r.Cycles), fmt.Sprint(r.Instrs)}
+		for _, v := range r.Stack {
+			row = append(row, fmt.Sprint(v))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(filepath.Join(dir, "cpistack.csv"), rows)
 }
 
 func f(v float64) string { return fmt.Sprintf("%.6g", v) }

@@ -20,6 +20,7 @@ func TestWriteCSV(t *testing.T) {
 		"fig4_dict.csv":     6, // 3 cache sizes x 2 RF configs
 		"fig4_codepack.csv": 6,
 		"fig5.csv":          10,
+		"cpistack.csv":      5, // native + 4 decompressor configs
 	}
 	for name, minRows := range files {
 		f, err := os.Open(filepath.Join(dir, name))

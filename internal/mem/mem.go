@@ -42,6 +42,11 @@ type Memory struct {
 	// Reads counts bus read transactions; BytesRead the bytes moved.
 	Reads     uint64
 	BytesRead uint64
+
+	// OnBurst, when set, observes every accounted bus burst (bytes
+	// moved, cycles charged). Nil costs nothing; internal/telemetry uses
+	// it for the burst-length histogram.
+	OnBurst func(bytes, cycles int)
 }
 
 // New returns an empty memory with the given bus timing.
@@ -130,15 +135,27 @@ func (m *Memory) WriteHalf(addr uint32, v uint16) {
 	binary.LittleEndian.PutUint16(p[off:off+2], v)
 }
 
+// Burst accounts one bus read transaction of n bytes — traffic counters
+// plus the OnBurst hook — and returns the cycles the burst takes. Cache
+// controllers that move data themselves (D-cache fills, the hardware
+// decompression unit) use it so every burst is observed exactly once.
+func (m *Memory) Burst(n int) int {
+	cycles := m.bus.BurstCycles(n)
+	m.Reads++
+	m.BytesRead += uint64(n)
+	if m.OnBurst != nil {
+		m.OnBurst(n, cycles)
+	}
+	return cycles
+}
+
 // ReadBlock copies n bytes starting at addr into dst and returns the bus
 // cycles the burst takes. It also updates the traffic counters.
 func (m *Memory) ReadBlock(addr uint32, dst []byte) int {
 	for i := range dst {
 		dst[i] = m.LoadByte(addr + uint32(i))
 	}
-	m.Reads++
-	m.BytesRead += uint64(len(dst))
-	return m.bus.BurstCycles(len(dst))
+	return m.Burst(len(dst))
 }
 
 // LoadSegment copies a program segment into memory. Virtual segments are

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+// Chrome trace-event exporter. The output is the Trace Event Format's
+// JSON-object form ({"traceEvents": [...]}), which Perfetto and
+// chrome://tracing open directly. Timestamps are simulated cycles
+// reported as microseconds (the format's native unit), so "1 µs" in the
+// viewer is one machine cycle.
+//
+// Two tracks are emitted under one process:
+//   - tid 1 "decompression handler": one complete ("X") span per
+//     exception service interval, entry flush to iret, named by the
+//     faulting address (and its procedure when the image is known);
+//   - tid 2 "memory system": one span per non-exception I-cache line
+//     fill, covering the fetch stall.
+
+const (
+	tracePID        = 1
+	traceTIDHandler = 1
+	traceTIDMemory  = 2
+)
+
+// traceEvent is one Trace Event Format record.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   uint64            `json:"ts"`
+	Dur  uint64            `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func metaEvent(name, value string, tid int) traceEvent {
+	return traceEvent{
+		Name: name, Ph: "M", PID: tracePID, TID: tid,
+		Args: map[string]string{"name": value},
+	}
+}
+
+// WriteChromeTrace writes the collector's recorded spans and fill
+// events as Chrome trace-event JSON. im, when non-nil, is used to name
+// spans with the procedure containing the faulting address.
+func (t *Collector) WriteChromeTrace(w io.Writer, im *program.Image) error {
+	events := []traceEvent{
+		metaEvent("process_name", "clr32-sim", traceTIDHandler),
+		metaEvent("thread_name", "decompression handler", traceTIDHandler),
+		metaEvent("thread_name", "memory system", traceTIDMemory),
+	}
+	name := func(pc uint32) string {
+		if im != nil {
+			if p := im.ProcAt(pc); p != nil {
+				return fmt.Sprintf("%s+%#x", p.Name, pc-p.Addr)
+			}
+		}
+		return fmt.Sprintf("%#08x", pc)
+	}
+	for _, s := range t.Spans {
+		events = append(events, traceEvent{
+			Name: "decompress " + name(s.PC), Cat: "handler", Ph: "X",
+			TS: s.Start, Dur: s.End - s.Start, PID: tracePID, TID: traceTIDHandler,
+			Args: map[string]string{"pc": fmt.Sprintf("%#x", s.PC)},
+		})
+	}
+	for _, f := range t.Fills {
+		cat := "ifill"
+		if f.Kind == cpu.FillHardwareDecomp {
+			cat = "hw-decomp"
+		}
+		events = append(events, traceEvent{
+			Name: cat + " " + name(f.PC), Cat: cat, Ph: "X",
+			TS: f.Cycle, Dur: f.Stall, PID: tracePID, TID: traceTIDMemory,
+			Args: map[string]string{"pc": fmt.Sprintf("%#x", f.PC)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SetCounters is the per-set event map of one cache — the data behind a
+// cache heatmap. It implements cache.Observer: misses are split into
+// cold (an invalid way existed) and conflict (the set was full, so the
+// miss evicts), and evictions are counted where they land.
+type SetCounters struct {
+	Name     string
+	Miss     []uint64 // all lookup misses, by set
+	Conflict []uint64 // misses that found the set full
+	Evict    []uint64 // valid lines replaced
+}
+
+// NewSetCounters returns counters for a cache with the given set count.
+func NewSetCounters(name string, sets int) *SetCounters {
+	return &SetCounters{
+		Name:     name,
+		Miss:     make([]uint64, sets),
+		Conflict: make([]uint64, sets),
+		Evict:    make([]uint64, sets),
+	}
+}
+
+// CacheMiss implements cache.Observer.
+func (s *SetCounters) CacheMiss(set int, conflict bool) {
+	s.Miss[set]++
+	if conflict {
+		s.Conflict[set]++
+	}
+}
+
+// CacheEvict implements cache.Observer.
+func (s *SetCounters) CacheEvict(set int) { s.Evict[set]++ }
+
+// TotalMisses sums misses over every set.
+func (s *SetCounters) TotalMisses() uint64 {
+	var n uint64
+	for _, v := range s.Miss {
+		n += v
+	}
+	return n
+}
+
+// HotSet is one row of the heatmap digest.
+type HotSet struct {
+	Set      int    `json:"set"`
+	Miss     uint64 `json:"miss"`
+	Conflict uint64 `json:"conflict"`
+	Evict    uint64 `json:"evict"`
+}
+
+// Hottest returns the n sets with the most misses, descending (ties by
+// set index so output is deterministic).
+func (s *SetCounters) Hottest(n int) []HotSet {
+	idx := make([]int, len(s.Miss))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if s.Miss[idx[a]] != s.Miss[idx[b]] {
+			return s.Miss[idx[a]] > s.Miss[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]HotSet, 0, n)
+	for _, i := range idx[:n] {
+		if s.Miss[i] == 0 {
+			break
+		}
+		out = append(out, HotSet{Set: i, Miss: s.Miss[i], Conflict: s.Conflict[i], Evict: s.Evict[i]})
+	}
+	return out
+}
+
+// String renders a one-line-per-row heat strip: sets are grouped into at
+// most 64 columns and shaded by miss density.
+func (s *SetCounters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d sets, %d misses\n", s.Name, len(s.Miss), s.TotalMisses())
+	if len(s.Miss) == 0 {
+		return b.String()
+	}
+	cols := len(s.Miss)
+	if cols > 64 {
+		cols = 64
+	}
+	per := (len(s.Miss) + cols - 1) / cols
+	sums := make([]uint64, cols)
+	var peak uint64
+	for i, v := range s.Miss {
+		sums[i/per] += v
+		if sums[i/per] > peak {
+			peak = sums[i/per]
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	b.WriteString("  [")
+	for _, v := range sums {
+		var k int
+		if peak > 0 {
+			k = int(v * uint64(len(shades)-1) / peak)
+		}
+		b.WriteByte(shades[k])
+	}
+	fmt.Fprintf(&b, "]  (%d sets/column, peak %d misses)\n", per, peak)
+	for _, h := range s.Hottest(4) {
+		fmt.Fprintf(&b, "  set %4d: %d misses (%d conflict, %d evictions)\n",
+			h.Set, h.Miss, h.Conflict, h.Evict)
+	}
+	return b.String()
+}

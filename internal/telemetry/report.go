@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// CPIComponent is one slice of the CPI stack.
+type CPIComponent struct {
+	// Name is the stable machine-readable component key (cpu.CycleKind.Key).
+	Name     string  `json:"name"`
+	Cycles   uint64  `json:"cycles"`
+	Fraction float64 `json:"fraction"` // of total cycles
+	PerInstr float64 `json:"per_instr"`
+}
+
+// BranchReport summarises the predictor.
+type BranchReport struct {
+	Lookups        uint64  `json:"lookups"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	MispredictRate float64 `json:"mispredict_rate"`
+}
+
+// CacheReport summarises one cache plus its hottest sets.
+type CacheReport struct {
+	Accesses  uint64   `json:"accesses"`
+	Misses    uint64   `json:"misses"`
+	MissRatio float64  `json:"miss_ratio"`
+	Evictions uint64   `json:"evictions"`
+	SwicLines uint64   `json:"swic_lines,omitempty"`
+	HotSets   []HotSet `json:"hot_sets,omitempty"`
+}
+
+// BusReport summarises main-memory traffic.
+type BusReport struct {
+	Reads     uint64 `json:"reads"`
+	BytesRead uint64 `json:"bytes_read"`
+}
+
+// Report is the machine-readable digest of one run. Field names are
+// stable — experiment scripts parse them, so renaming any is a breaking
+// change; add, don't rename.
+type Report struct {
+	Image  string `json:"image,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+
+	Cycles        uint64  `json:"cycles"`
+	Instrs        uint64  `json:"instrs"`
+	HandlerInstrs uint64  `json:"handler_instrs"`
+	CPI           float64 `json:"cpi"` // cycles per user instruction
+
+	CPIStack []CPIComponent `json:"cpi_stack"`
+
+	Exceptions      uint64  `json:"exceptions"`
+	IMissNative     uint64  `json:"imiss_native"`
+	IMissCompressed uint64  `json:"imiss_compressed"`
+	ExcCyclesAvg    float64 `json:"exc_cycles_avg"`
+	ExcCyclesMax    uint64  `json:"exc_cycles_max"`
+
+	FetchStalls   uint64 `json:"fetch_stalls"`
+	LoadStalls    uint64 `json:"load_stalls"`
+	LoadUseStalls uint64 `json:"load_use_stalls"`
+
+	Branch BranchReport `json:"branch"`
+	Bus    BusReport    `json:"bus"`
+
+	ICache *CacheReport `json:"icache,omitempty"`
+	DCache *CacheReport `json:"dcache,omitempty"`
+
+	ExcLatency  *HistSummary `json:"exc_latency,omitempty"`
+	FillLatency *HistSummary `json:"fill_latency,omitempty"`
+	BurstBytes  *HistSummary `json:"burst_bytes,omitempty"`
+
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+	ExitCode      int32  `json:"exit_code"`
+}
+
+// NewReport digests a finished machine. t may be nil: the CPI stack and
+// every counter-derived field come from cpu.Stats alone (always
+// maintained); histograms and heatmaps need an attached collector.
+func NewReport(c *cpu.CPU, t *Collector) *Report {
+	s := c.Stats
+	_, exit := c.Halted()
+	r := &Report{
+		Cycles:          s.Cycles,
+		Instrs:          s.Instrs,
+		HandlerInstrs:   s.HandlerInstrs,
+		Exceptions:      s.Exceptions,
+		IMissNative:     s.IMissNative,
+		IMissCompressed: s.IMissCompressed,
+		ExcCyclesAvg:    s.AvgExcCycles(),
+		ExcCyclesMax:    s.ExcCyclesMax,
+		FetchStalls:     s.FetchStalls,
+		LoadStalls:      s.LoadStalls,
+		LoadUseStalls:   s.LoadUseStalls,
+		Branch: BranchReport{
+			Lookups:        c.BP.Lookups,
+			Mispredicts:    c.BP.Mispredicts,
+			MispredictRate: c.BP.MispredictRatio(),
+		},
+		Bus:      BusReport{Reads: c.Mem.Reads, BytesRead: c.Mem.BytesRead},
+		ExitCode: exit,
+	}
+	if s.Instrs > 0 {
+		r.CPI = float64(s.Cycles) / float64(s.Instrs)
+	}
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		comp := CPIComponent{Name: k.Key(), Cycles: s.CPIStack[k]}
+		if s.Cycles > 0 {
+			comp.Fraction = float64(s.CPIStack[k]) / float64(s.Cycles)
+		}
+		if s.Instrs > 0 {
+			comp.PerInstr = float64(s.CPIStack[k]) / float64(s.Instrs)
+		}
+		r.CPIStack = append(r.CPIStack, comp)
+	}
+	r.ICache = &CacheReport{
+		Accesses: c.IC.Stats.Accesses, Misses: c.IC.Stats.Misses,
+		MissRatio: c.IC.Stats.MissRatio(), Evictions: c.IC.Stats.Evictions,
+		SwicLines: c.IC.Stats.SwicLines,
+	}
+	r.DCache = &CacheReport{
+		Accesses: c.DC.Stats.Accesses, Misses: c.DC.Stats.Misses,
+		MissRatio: c.DC.Stats.MissRatio(), Evictions: c.DC.Stats.Evictions,
+	}
+	if t != nil {
+		if t.IC != nil {
+			r.ICache.HotSets = t.IC.Hottest(8)
+		}
+		if t.DC != nil {
+			r.DCache.HotSets = t.DC.Hottest(8)
+		}
+		r.ExcLatency = t.ExcLatency.Summary()
+		r.FillLatency = t.FillLatency.Summary()
+		r.BurstBytes = t.BurstBytes.Summary()
+		r.DroppedEvents = t.DroppedEvents
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the report as flat key,value rows (one metric per
+// line) — trivially greppable and joinable across runs. Keys reuse the
+// JSON field names, with cpi_stack.<component> for the stack.
+func (r *Report) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("metric,value\n")
+	row := func(k string, v interface{}) { fmt.Fprintf(&b, "%s,%v\n", k, v) }
+	if r.Image != "" {
+		row("image", r.Image)
+	}
+	if r.Scheme != "" {
+		row("scheme", r.Scheme)
+	}
+	row("cycles", r.Cycles)
+	row("instrs", r.Instrs)
+	row("handler_instrs", r.HandlerInstrs)
+	row("cpi", fmt.Sprintf("%.4f", r.CPI))
+	for _, comp := range r.CPIStack {
+		row("cpi_stack."+comp.Name, comp.Cycles)
+	}
+	row("exceptions", r.Exceptions)
+	row("imiss_native", r.IMissNative)
+	row("imiss_compressed", r.IMissCompressed)
+	row("exc_cycles_avg", fmt.Sprintf("%.2f", r.ExcCyclesAvg))
+	row("exc_cycles_max", r.ExcCyclesMax)
+	row("fetch_stalls", r.FetchStalls)
+	row("load_stalls", r.LoadStalls)
+	row("load_use_stalls", r.LoadUseStalls)
+	row("branch.lookups", r.Branch.Lookups)
+	row("branch.mispredicts", r.Branch.Mispredicts)
+	row("bus.reads", r.Bus.Reads)
+	row("bus.bytes_read", r.Bus.BytesRead)
+	if r.ICache != nil {
+		row("icache.misses", r.ICache.Misses)
+		row("icache.miss_ratio", fmt.Sprintf("%.6f", r.ICache.MissRatio))
+	}
+	if r.DCache != nil {
+		row("dcache.misses", r.DCache.Misses)
+		row("dcache.miss_ratio", fmt.Sprintf("%.6f", r.DCache.MissRatio))
+	}
+	row("exit_code", r.ExitCode)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FormatCPIStack renders the stack as an aligned text block with
+// percentage bars — the Figure 5-style "where did the cycles go" view.
+func (r *Report) FormatCPIStack() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPI stack (%d cycles, %d user instructions, CPI %.2f):\n",
+		r.Cycles, r.Instrs, r.CPI)
+	const width = 32
+	for _, comp := range r.CPIStack {
+		if comp.Cycles == 0 {
+			continue
+		}
+		bar := int(comp.Fraction * width)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-16s %12d  %6.2f%%  %5.3f/instr %s\n",
+			comp.Name, comp.Cycles, comp.Fraction*100, comp.PerInstr,
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// WriteText writes the full human-readable report: CPI stack,
+// exception/miss summary, histograms and cache heatmaps.
+func (r *Report) WriteText(w io.Writer, t *Collector) error {
+	var b strings.Builder
+	if r.Image != "" && r.Scheme != "" {
+		fmt.Fprintf(&b, "image %s (scheme %s)\n", r.Image, r.Scheme)
+	} else if r.Image != "" {
+		fmt.Fprintf(&b, "image %s\n", r.Image)
+	}
+	b.WriteString(r.FormatCPIStack())
+	fmt.Fprintf(&b, "I-miss native/compressed: %d/%d; exceptions %d (mean %.1f, worst %d cycles)\n",
+		r.IMissNative, r.IMissCompressed, r.Exceptions, r.ExcCyclesAvg, r.ExcCyclesMax)
+	fmt.Fprintf(&b, "branches: %d resolved, %d mispredicted (%.2f%%)\n",
+		r.Branch.Lookups, r.Branch.Mispredicts, r.Branch.MispredictRate*100)
+	fmt.Fprintf(&b, "bus: %d reads, %d bytes\n", r.Bus.Reads, r.Bus.BytesRead)
+	if t != nil {
+		b.WriteString(t.ExcLatency.String())
+		b.WriteString(t.FillLatency.String())
+		b.WriteString(t.BurstBytes.String())
+		if t.IC != nil {
+			b.WriteString(t.IC.String())
+		}
+		if t.DC != nil {
+			b.WriteString(t.DC.String())
+		}
+		if t.DroppedEvents > 0 {
+			fmt.Fprintf(&b, "note: %d trace events dropped past the %d-event cap\n",
+				t.DroppedEvents, t.MaxEvents)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -38,13 +38,15 @@ func NewRing(n int, im *program.Image) *Ring {
 	return &Ring{buf: make([]Entry, n), img: im}
 }
 
-// Attach registers the ring as the CPU's tracer.
+// Attach registers the ring as one of the CPU's tracers. Attaching
+// composes: tracers installed before or after (the telemetry collector,
+// another ring) keep firing — the ring never clobbers them.
 func (r *Ring) Attach(c *cpu.CPU) {
-	c.Trace = func(pc, instr uint32, handler bool) {
+	c.AttachTrace(func(pc, instr uint32, handler bool) {
 		r.buf[r.next] = Entry{PC: pc, Instr: instr, Handler: handler}
 		r.next = (r.next + 1) % len(r.buf)
 		r.count++
-	}
+	})
 }
 
 // Count returns the total number of instructions observed.

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/asm"
+	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/program"
 )
 
 const src = `
@@ -96,5 +98,93 @@ func TestTinyRing(t *testing.T) {
 	r := runTraced(t, 0) // clamps to 1
 	if len(r.Entries()) != 1 {
 		t.Fatal("ring of zero should clamp to one")
+	}
+}
+
+// compressedSrc busy-loops first, then calls a cold procedure right
+// before exit: compressed, the cold call raises a decompression
+// exception near the end of the run, so the final instructions
+// interleave handler and user commits.
+const compressedSrc = `
+        .text
+        .proc main
+main:   ori   $s0, $zero, 40
+loop:   addiu $s0, $s0, -1
+        bgtz  $s0, loop
+        jal   tail
+        move  $a0, $v0
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+        .proc tail
+tail:   ori   $v0, $zero, 1
+        sll   $v0, $v0, 1
+        sll   $v0, $v0, 1
+        sll   $v0, $v0, 1
+        sll   $v0, $v0, 1
+        sll   $v0, $v0, 1
+        sll   $v0, $v0, 1
+        andi  $v0, $v0, 0
+        jr    $ra
+        .endp
+`
+
+// TestRingWrapsWithHandlerEntries runs a dictionary-compressed program
+// through a ring smaller than its dynamic length: the ring must wrap,
+// keep commit order, and carry the handler/user origin of each entry.
+func TestRingWrapsWithHandlerEntries(t *testing.T) {
+	im, err := asm.Assemble(compressedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compress(im, core.Options{Scheme: program.SchemeDict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cpu.New(cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Cfg.MaxInstr = 100_000
+	const n = 24
+	r := NewRing(n, res.Image)
+	r.Attach(c)
+	if err := c.Load(res.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() <= n {
+		t.Fatalf("ring did not wrap: %d commits through a %d-entry ring", r.Count(), n)
+	}
+	es := r.Entries()
+	if len(es) != n {
+		t.Fatalf("entries = %d, want %d", len(es), n)
+	}
+	// The wrapped window spans the late exception, so it must hold both
+	// handler and user commits.
+	var handler, user bool
+	for _, e := range es {
+		if e.Handler {
+			handler = true
+		} else {
+			user = true
+		}
+	}
+	if !handler || !user {
+		t.Fatalf("wrapped window not mixed: handler=%v user=%v\n%s", handler, user, r.Dump())
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, " * ") {
+		t.Errorf("dump missing handler markers:\n%s", dump)
+	}
+	// The final entry must be the program's last user instruction (the
+	// syscall), proving order survived the wrap.
+	if es[len(es)-1].Handler {
+		t.Errorf("last committed instruction marked as handler")
+	}
+	if !strings.Contains(dump, "syscall") {
+		t.Errorf("dump missing final syscall:\n%s", dump)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/selective"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -65,6 +66,18 @@ type Stats = cpu.Stats
 
 // ProcProfile holds per-procedure execution and miss counts.
 type ProcProfile = cpu.ProcProfile
+
+// CPIStack is the per-run cycle attribution (every cycle charged to one
+// component; the components always sum to Stats.Cycles).
+type CPIStack = cpu.CPIStack
+
+// Collector gathers run telemetry: latency histograms, per-set cache
+// heatmaps, and the event streams behind the Chrome-trace exporter.
+type Collector = telemetry.Collector
+
+// Report is the machine-readable digest of one run (the ccprof /
+// `simrun -json` output).
+type Report = telemetry.Report
 
 // Policy is a selective-compression ranking policy.
 type Policy = selective.Policy
@@ -131,6 +144,32 @@ func Run(im *Image, cfg MachineConfig) (RunResult, error) {
 // profile used by selective compression.
 func ProfiledRun(im *Image, cfg MachineConfig) (RunResult, *ProcProfile, error) {
 	return runWith(im, cfg, true)
+}
+
+// InstrumentedRun executes the image with the full telemetry layer
+// attached and returns the run result, its report, and the collector
+// (for the Chrome-trace exporter and raw histograms).
+func InstrumentedRun(im *Image, cfg MachineConfig) (RunResult, *Report, *Collector, error) {
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 2_000_000_000
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	col := telemetry.New()
+	col.Attach(c)
+	var out bytes.Buffer
+	c.Out = &out
+	if err := c.Load(im); err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	code, err := c.Run()
+	if err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	res := RunResult{ExitCode: code, Output: out.String(), Stats: c.Stats}
+	return res, telemetry.NewReport(c, col), col, nil
 }
 
 func runWith(im *Image, cfg MachineConfig, profiled bool) (RunResult, *ProcProfile, error) {
