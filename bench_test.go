@@ -12,6 +12,7 @@ import (
 	"repro/internal/compress/dict"
 	"repro/internal/compress/lzrw1"
 	"repro/internal/experiment"
+	"repro/internal/perfwatch"
 	"repro/internal/program"
 )
 
@@ -109,6 +110,36 @@ func BenchmarkAblations(b *testing.B) {
 			b.Fatal(err)
 		}
 		printRows(b, "abl", out)
+	}
+}
+
+// BenchmarkWorkloads runs every perfwatch registry workload as a
+// sub-benchmark — the same workloads `ccbench run` records to
+// BENCH_*.json, so `go test -bench Workloads` and the trajectory files
+// measure the same thing. Simulated cycles are reported as a metric;
+// compare wall times across trees with benchstat, or use `ccbench
+// compare` for the gated exact/statistical split.
+func BenchmarkWorkloads(b *testing.B) {
+	for _, w := range perfwatch.Registry() {
+		b.Run(w.Name, func(b *testing.B) {
+			r := perfwatch.NewRunner(benchScale(), 1)
+			warm, err := r.RunWorkload(w) // build/compress outside the timing
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := r.RunWorkload(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Sim.Cycles != warm.Sim.Cycles {
+					b.Fatalf("nondeterministic workload: %d vs %d cycles", s.Sim.Cycles, warm.Sim.Cycles)
+				}
+			}
+			b.ReportMetric(float64(warm.Sim.Cycles), "sim-cycles")
+			b.ReportMetric(float64(warm.Sim.Instrs+warm.Sim.HandlerInstrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+		})
 	}
 }
 

@@ -1,0 +1,338 @@
+// Command ccbench is the performance-trajectory front end: it runs the
+// perfwatch workload registry (paper benchmarks × compression schemes ×
+// cache configurations), appends two-axis samples — exact simulated
+// metrics and statistical host metrics — to a schema-versioned
+// BENCH_<host>.json trajectory file, and compares or gates trajectories
+// so performance changes are measured claims instead of assertions.
+//
+//	ccbench list                         print the workload registry
+//	ccbench run                          run all workloads, append to BENCH_<hostname>.json
+//	ccbench run -scale 1.0 -reps 10      full-length runs, 10 host repetitions
+//	ccbench run -host ci -o BENCH_ci.json -only go/dict/16K
+//	ccbench compare old.json new.json    compare the latest entries of two files
+//	ccbench compare BENCH_myhost.json    compare the last two entries of one file
+//	ccbench gate                         re-run the registry at the baseline's
+//	                                     scale and fail on any simulated change
+//	ccbench gate -host-threshold 0.2     also fail on significant >20% host slowdowns
+//	ccbench gate -perturb 1.05           self-test: inject +5% cycles, must fail
+//
+// Progress goes to stderr as structured slog lines; -expvar ADDR serves
+// live counters at http://ADDR/debug/vars for long sweeps.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/perfwatch"
+)
+
+func main() {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:], log)
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "gate":
+		err = cmdGate(os.Args[2:], log)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "ccbench: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Error("ccbench failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ccbench <command> [flags]
+
+commands:
+  list      print the workload registry
+  run       measure every workload and append a trajectory entry
+  compare   compare two trajectory files (or the last two entries of one)
+  gate      re-measure and fail on regressions vs a baseline trajectory
+
+run 'ccbench <command> -h' for the command's flags
+`)
+}
+
+// defaultScale mirrors bench_test.go: RTD_BENCH_SCALE or 0.2.
+func defaultScale() float64 {
+	if v := os.Getenv("RTD_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.2
+}
+
+// gitSHA is a best-effort commit id for the fingerprint: GITHUB_SHA in
+// CI, otherwise git on the working tree, otherwise empty.
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %3s  %s\n", "workload", "ver", "description")
+	for _, w := range perfwatch.Registry() {
+		fmt.Printf("%-24s %3d  %s\n", w.Name, w.Version, w.Desc())
+	}
+	return nil
+}
+
+// progressVars wires Runner.Progress into an expvar map.
+type progressVars struct {
+	mu             sync.Mutex
+	done, total    int
+	last           string
+	lastCycles     uint64
+	lastMedianNs   int64
+	totalSimCycles uint64
+}
+
+func (p *progressVars) publish() {
+	expvar.Publish("perfwatch", expvar.Func(func() any {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return map[string]any{
+			"workloads_done":   p.done,
+			"workloads_total":  p.total,
+			"last_workload":    p.last,
+			"last_cycles":      p.lastCycles,
+			"last_median_ns":   p.lastMedianNs,
+			"total_sim_cycles": p.totalSimCycles,
+		}
+	}))
+}
+
+func (p *progressVars) update(done, total int, s perfwatch.Sample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done, p.total = done, total
+	p.last = s.Workload
+	p.lastCycles = s.Sim.Cycles
+	p.lastMedianNs = s.Host.MedianNs
+	p.totalSimCycles += s.Sim.Cycles
+}
+
+func startExpvar(addr string, log *slog.Logger) *progressVars {
+	pv := &progressVars{}
+	if addr == "" {
+		return pv
+	}
+	pv.publish()
+	go func() {
+		log.Info("expvar endpoint", "addr", "http://"+addr+"/debug/vars")
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Error("expvar server", "err", err)
+		}
+	}()
+	return pv
+}
+
+func splitOnly(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func cmdRun(args []string, log *slog.Logger) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		scale  = fs.Float64("scale", defaultScale(), "dynamic-length multiplier (RTD_BENCH_SCALE)")
+		reps   = fs.Int("reps", 5, "timed repetitions per workload (host metrics)")
+		host   = fs.String("host", "", "host label for the trajectory file (default: hostname)")
+		out    = fs.String("o", "", "trajectory file (default: BENCH_<host>.json)")
+		only   = fs.String("only", "", "comma-separated workload names (default: all)")
+		keep   = fs.Int("keep", 0, "keep at most N entries in the file (0 = unlimited)")
+		expAdr = fs.String("expvar", "", "serve expvar progress at this address (e.g. localhost:8372)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *host == "" {
+		if h, err := os.Hostname(); err == nil {
+			*host = h
+		} else {
+			*host = "unknown"
+		}
+	}
+	path := *out
+	if path == "" {
+		path = perfwatch.FileName(*host)
+	}
+
+	// Note: *host is only the trajectory file label; the fingerprint
+	// keeps the real hostname so host-comparability stays honest.
+	pv := startExpvar(*expAdr, log)
+	fp := perfwatch.NewFingerprint(*scale, *reps)
+	fp.GitSHA = gitSHA()
+	log.Info("run", "scale", *scale, "reps", *reps, "file", path,
+		"go", fp.GoVersion, "gomaxprocs", fp.GOMAXPROCS, "sha", fp.GitSHA)
+
+	r := perfwatch.NewRunner(*scale, *reps)
+	r.Log = log
+	r.Progress = pv.update
+	entry, err := r.Run(fp, splitOnly(*only))
+	if err != nil {
+		return err
+	}
+	traj, err := perfwatch.Load(path)
+	if err != nil {
+		return err
+	}
+	traj.Host = *host
+	if err := traj.Append(path, entry, *keep); err != nil {
+		return err
+	}
+	log.Info("appended", "file", path, "entries", len(traj.Entries), "samples", len(entry.Samples))
+
+	// When the file already held an entry, show the trajectory step.
+	if len(traj.Entries) >= 2 {
+		c := perfwatch.CompareEntries(traj.Entries[len(traj.Entries)-2], entry)
+		c.Format(os.Stdout, false)
+		fmt.Println(c.Summary())
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print per-field simulated diffs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var old, new perfwatch.Entry
+	switch fs.NArg() {
+	case 1:
+		traj, err := perfwatch.Load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if len(traj.Entries) < 2 {
+			return fmt.Errorf("%s has %d entries; need 2 to compare", fs.Arg(0), len(traj.Entries))
+		}
+		old, new = traj.Entries[len(traj.Entries)-2], traj.Entries[len(traj.Entries)-1]
+	case 2:
+		var err error
+		if old, err = latestEntry(fs.Arg(0)); err != nil {
+			return err
+		}
+		if new, err = latestEntry(fs.Arg(1)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: ccbench compare [-v] <old.json> [new.json]")
+	}
+	c := perfwatch.CompareEntries(old, new)
+	c.Format(os.Stdout, *verbose)
+	fmt.Println(c.Summary())
+	return nil
+}
+
+func latestEntry(path string) (perfwatch.Entry, error) {
+	traj, err := perfwatch.Load(path)
+	if err != nil {
+		return perfwatch.Entry{}, err
+	}
+	e, ok := traj.Latest()
+	if !ok {
+		return perfwatch.Entry{}, fmt.Errorf("%s has no entries", path)
+	}
+	return e, nil
+}
+
+func cmdGate(args []string, log *slog.Logger) error {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	var (
+		baseline = fs.String("baseline", "BENCH_ci.json", "baseline trajectory file")
+		reps     = fs.Int("reps", 0, "timed repetitions (default: baseline's reps)")
+		only     = fs.String("only", "", "comma-separated workload names (default: all)")
+		hostThr  = fs.Float64("host-threshold", 0, "fail on significant host slowdowns beyond this fraction (0 = sim-only gate)")
+		allowSim = fs.Bool("allow-sim", false, "permit simulated-metric changes (report, don't fail)")
+		perturb  = fs.Float64("perturb", 0, "self-test: multiply measured simulated cycles by this factor")
+		expAdr   = fs.String("expvar", "", "serve expvar progress at this address")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := latestEntry(*baseline)
+	if err != nil {
+		return fmt.Errorf("loading baseline: %v", err)
+	}
+	scale := base.Fingerprint.Scale
+	if *reps == 0 {
+		*reps = base.Fingerprint.Reps
+		if *reps == 0 {
+			*reps = 5
+		}
+	}
+	log.Info("gate", "baseline", *baseline, "baseline_time", base.Time,
+		"baseline_sha", base.Fingerprint.GitSHA, "scale", scale, "reps", *reps)
+
+	pv := startExpvar(*expAdr, log)
+	fp := perfwatch.NewFingerprint(scale, *reps)
+	fp.GitSHA = gitSHA()
+	r := perfwatch.NewRunner(scale, *reps)
+	r.Log = log
+	r.Progress = pv.update
+	entry, err := r.Run(fp, splitOnly(*only))
+	if err != nil {
+		return err
+	}
+	if *perturb != 0 && *perturb != 1 {
+		log.Warn("self-test perturbation active", "factor", *perturb)
+		perfwatch.PerturbSim(&entry, *perturb)
+	}
+
+	c := perfwatch.CompareEntries(base, entry)
+	c.Format(os.Stdout, true)
+	fmt.Println(c.Summary())
+	policy := perfwatch.GatePolicy{AllowSimChange: *allowSim, HostThreshold: *hostThr}
+	if violations := policy.Check(c); len(violations) > 0 {
+		for _, v := range violations {
+			log.Error("gate violation", "workload", v.Workload, "reason", v.Reason)
+		}
+		return fmt.Errorf("%d gate violation(s); if intentional, re-baseline with: ccbench run -scale %g -reps %d -o %s",
+			len(violations), scale, *reps, *baseline)
+	}
+	log.Info("gate passed", "workloads", len(c.Deltas))
+	return nil
+}

@@ -14,6 +14,7 @@
 //	                                    selective compression: hottest 5%
 //	                                    (by misses) stays native
 //	ccprof -format json -trace trace.json -folded profile.folded prog.img
+//	ccprof -heatmap sets.csv prog.img   per-set cache counters as CSV
 //
 // The simulated program's own output goes to stderr so the report stream
 // stays machine-readable.
@@ -52,6 +53,7 @@ func main() {
 		outPath   = flag.String("o", "", "write the report here instead of stdout")
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON here")
 		foldPath  = flag.String("folded", "", "write folded flamegraph stacks here")
+		heatPath  = flag.String("heatmap", "", "write per-set I/D-cache miss/conflict/evict counters here as CSV")
 	)
 	flag.Parse()
 	if (*bench == "") == (flag.NArg() != 1) {
@@ -59,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	im, name, err := loadImage(*bench, *scale, flag.Args())
+	im, name, seed, err := loadImage(*bench, *scale, flag.Args())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,8 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep.Image = name
-	rep.Scheme = schemeOf(im)
+	rep.SetIdentity(name, schemeOf(im), seed)
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -126,11 +127,16 @@ func main() {
 	if *foldPath != "" {
 		writeFile(*foldPath, func(f *os.File) error { return telemetry.WriteFolded(f, prof) })
 	}
+	if *heatPath != "" {
+		writeFile(*heatPath, func(f *os.File) error { return telemetry.WriteHeatmapCSV(f, col.IC, col.DC) })
+	}
 }
 
 // loadImage resolves the run target: a named synthetic benchmark, an
-// assembly or MiniC source file, or a linked image file.
-func loadImage(bench string, scale float64, args []string) (*program.Image, string, error) {
+// assembly or MiniC source file, or a linked image file. The returned
+// seed is the synthetic generator seed (0 for file targets), recorded in
+// the report's config stanza.
+func loadImage(bench string, scale float64, args []string) (*program.Image, string, int64, error) {
 	if bench != "" {
 		for _, p := range synth.Benchmarks() {
 			if p.Name != bench {
@@ -140,9 +146,9 @@ func loadImage(bench string, scale float64, args []string) (*program.Image, stri
 				p = p.Scale(scale)
 			}
 			im, err := synth.Build(p)
-			return im, bench, err
+			return im, bench, p.Seed, err
 		}
-		return nil, "", fmt.Errorf("unknown benchmark %q", bench)
+		return nil, "", 0, fmt.Errorf("unknown benchmark %q", bench)
 	}
 	path := args[0]
 	name := filepath.Base(path)
@@ -150,20 +156,20 @@ func loadImage(bench string, scale float64, args []string) (*program.Image, stri
 	case strings.HasSuffix(path, ".s"):
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		im, err := asm.Assemble(string(src))
-		return im, name, err
+		return im, name, 0, err
 	case strings.HasSuffix(path, ".mc"):
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 		im, err := minic.Compile(string(src))
-		return im, name, err
+		return im, name, 0, err
 	default:
 		im, err := program.LoadFile(path)
-		return im, name, err
+		return im, name, 0, err
 	}
 }
 

@@ -64,8 +64,7 @@ func main() {
 	}
 	if *jsonOut {
 		rep := telemetry.NewReport(c, col)
-		rep.Image = flag.Arg(0)
-		rep.Scheme = schemeOf(im)
+		rep.SetIdentity(flag.Arg(0), schemeOf(im), 0)
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
@@ -88,8 +87,7 @@ func main() {
 	}
 	if *telem {
 		rep := telemetry.NewReport(c, col)
-		rep.Image = flag.Arg(0)
-		rep.Scheme = schemeOf(im)
+		rep.SetIdentity(flag.Arg(0), schemeOf(im), 0)
 		if err := rep.WriteText(os.Stdout, col); err != nil {
 			log.Fatal(err)
 		}

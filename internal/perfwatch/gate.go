@@ -1,0 +1,72 @@
+package perfwatch
+
+import (
+	"fmt"
+)
+
+// GatePolicy decides which comparison outcomes fail the regression gate.
+type GatePolicy struct {
+	// AllowSimChange permits simulated-metric changes (for PRs that
+	// intentionally change timing behaviour; the trajectory still
+	// records the new values). Default false: ANY simulated-cycle or
+	// CPI-component change fails — simulated metrics are deterministic,
+	// so a delta is always a real behaviour change that must be either
+	// claimed (re-baseline) or fixed.
+	AllowSimChange bool
+	// HostThreshold is the fractional host wall-time regression
+	// tolerated before a *significant* slowdown fails the gate
+	// (e.g. 0.20 = +20%). <= 0 disables host gating; host gating also
+	// needs HostComparable fingerprints and enough repetitions for the
+	// rank-sum test.
+	HostThreshold float64
+}
+
+// Violation is one gate failure.
+type Violation struct {
+	Workload string `json:"workload"`
+	Reason   string `json:"reason"`
+}
+
+// Check applies the policy to a comparison and returns every violation
+// (empty = gate passes).
+func (p GatePolicy) Check(c Comparison) []Violation {
+	var vs []Violation
+	for _, d := range c.Deltas {
+		switch d.Status {
+		case StatusSlower, StatusFaster, StatusChanged:
+			if !p.AllowSimChange {
+				reason := fmt.Sprintf("simulated metrics changed (%s): cycles %d -> %d (%+.3f%%)",
+					d.Status, d.OldCycles, d.NewCycles, d.CycleDelta*100)
+				if len(d.SimDiffs) > 0 {
+					reason += "; first diff: " + d.SimDiffs[0]
+				}
+				vs = append(vs, Violation{Workload: d.Workload, Reason: reason})
+			}
+		}
+		if p.HostThreshold > 0 && d.Host != nil &&
+			d.Host.Significant && d.Host.Delta > p.HostThreshold {
+			vs = append(vs, Violation{
+				Workload: d.Workload,
+				Reason: fmt.Sprintf("host wall time regressed %+.1f%% (median %.2fms -> %.2fms, p=%.3f, threshold +%.0f%%)",
+					d.Host.Delta*100, float64(d.Host.OldMedianNs)/1e6,
+					float64(d.Host.NewMedianNs)/1e6, d.Host.P, p.HostThreshold*100),
+			})
+		}
+	}
+	return vs
+}
+
+// PerturbSim multiplies every simulated cycle count (total and CPI
+// components) in the entry by factor — a synthetic regression injector
+// used by the gate's self-test path (`ccbench gate -perturb 1.05`) to
+// prove the gate actually fires. It mutates the entry in place.
+func PerturbSim(e *Entry, factor float64) {
+	scale := func(v uint64) uint64 { return uint64(float64(v) * factor) }
+	for i := range e.Samples {
+		sim := &e.Samples[i].Sim
+		sim.Cycles = scale(sim.Cycles)
+		for k, v := range sim.CPIStack {
+			sim.CPIStack[k] = scale(v)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package perfwatch is the repository's performance-trajectory layer:
+// a registry of named, versioned benchmark workloads (paper benchmarks ×
+// compression schemes × cache configurations), a runner that measures
+// each workload on two axes — exact simulated metrics and statistical
+// host metrics — and schema-versioned BENCH_<host>.json trajectory files
+// that accumulate one sample set per run. `ccbench compare` and
+// `ccbench gate` turn the trajectory into a regression gate: simulated
+// cycles are deterministic and compared exactly; host wall times are
+// noisy and compared with a rank-sum significance test over repeated
+// measurements, benchstat-style.
+package perfwatch
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/program"
+	"repro/internal/selective"
+)
+
+// Workload is one registered benchmark configuration. Name is the
+// stable identifier trajectory samples are joined on across runs;
+// Version marks semantic changes to the workload definition — when a
+// workload's meaning changes (different scheme options, different cache)
+// bump Version instead of silently redefining it, and comparisons
+// across versions are skipped rather than reported as regressions.
+type Workload struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+
+	// Bench names the synthetic benchmark (synth.Benchmarks).
+	Bench string `json:"bench"`
+	// Scheme is the compression scheme; empty means native code.
+	Scheme program.Scheme `json:"scheme,omitempty"`
+	// ShadowRF gives the handler the paper's second register file.
+	ShadowRF bool `json:"shadow_rf,omitempty"`
+	// SelectFrac > 0 keeps the hottest procedures (by the paper's miss
+	// policy, profiled at the 16KB baseline) native — selective
+	// compression at that coverage fraction.
+	SelectFrac float64 `json:"select_frac,omitempty"`
+	// CacheKB is the I-cache size in KB.
+	CacheKB int `json:"cache_kb"`
+}
+
+// Desc returns a one-line human description of the workload.
+func (w Workload) Desc() string {
+	scheme := "native"
+	if w.Scheme != "" {
+		scheme = string(w.Scheme)
+		if w.ShadowRF {
+			scheme += "+rf"
+		}
+	}
+	if w.SelectFrac > 0 {
+		scheme = fmt.Sprintf("selective(%s, %.0f%% native by misses)", scheme, w.SelectFrac*100)
+	}
+	return fmt.Sprintf("%s, %s, %dKB I-cache", w.Bench, scheme, w.CacheKB)
+}
+
+// Registry returns the default workload set: a cross-section of the
+// paper's evaluation space chosen so every future perf PR exercises the
+// native simulator hot path, both software decompressors, the shadow
+// register file, selective compression, procedure-granularity
+// decompression, and the small/large cache extremes. Order is the
+// execution and reporting order; names never change meaning without a
+// Version bump.
+func Registry() []Workload {
+	return []Workload{
+		{Name: "go/native/16K", Version: 1, Bench: "go", CacheKB: 16},
+		{Name: "go/dict/16K", Version: 1, Bench: "go", Scheme: program.SchemeDict, CacheKB: 16},
+		{Name: "go/dict+rf/16K", Version: 1, Bench: "go", Scheme: program.SchemeDict, ShadowRF: true, CacheKB: 16},
+		{Name: "go/codepack+rf/16K", Version: 1, Bench: "go", Scheme: program.SchemeCodePack, ShadowRF: true, CacheKB: 16},
+		{Name: "go/sel-dict-25/16K", Version: 1, Bench: "go", Scheme: program.SchemeDict, ShadowRF: true, SelectFrac: 0.25, CacheKB: 16},
+		{Name: "cc1/codepack+rf/16K", Version: 1, Bench: "cc1", Scheme: program.SchemeCodePack, ShadowRF: true, CacheKB: 16},
+		{Name: "pegwit/dict+rf/4K", Version: 1, Bench: "pegwit", Scheme: program.SchemeDict, ShadowRF: true, CacheKB: 4},
+		{Name: "perl/dict+rf/64K", Version: 1, Bench: "perl", Scheme: program.SchemeDict, ShadowRF: true, CacheKB: 64},
+		{Name: "mpeg2enc/procdict/16K", Version: 1, Bench: "mpeg2enc", Scheme: program.SchemeProcDict, CacheKB: 16},
+		{Name: "vortex/native/16K", Version: 1, Bench: "vortex", CacheKB: 16},
+	}
+}
+
+// Find returns the registered workload with the given name.
+func Find(name string) (Workload, bool) {
+	for _, w := range Registry() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Runner executes workloads and produces Samples. It wraps an
+// experiment.Suite so image building, compression and native baselines
+// are shared across workloads; the timed simulations themselves always
+// run fresh.
+type Runner struct {
+	// Scale is the dynamic-length multiplier applied to every benchmark
+	// (the RTD_BENCH_SCALE axis; 1.0 = the calibrated full runs).
+	Scale float64
+	// Reps is how many timed repetitions feed the host metrics
+	// (minimum 1; host significance testing needs >= 4).
+	Reps int
+	// Log receives per-repetition progress; nil discards it.
+	Log *slog.Logger
+	// Progress, when non-nil, is called after each completed workload
+	// with (done, total) — the hook behind ccbench's expvar endpoint.
+	Progress func(done, total int, last Sample)
+
+	suite *experiment.Suite
+}
+
+// NewRunner returns a Runner at the given scale and repetition count.
+func NewRunner(scale float64, reps int) *Runner {
+	if reps < 1 {
+		reps = 1
+	}
+	return &Runner{Scale: scale, Reps: reps, suite: experiment.NewSuite(scale)}
+}
+
+func (r *Runner) logger() *slog.Logger {
+	if r.Log != nil {
+		return r.Log
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// options builds the compression options for a workload (resolving the
+// selective-compression procedure set from the cached profile).
+func (r *Runner) options(w Workload) (core.Options, error) {
+	opts := core.Options{Scheme: w.Scheme, ShadowRF: w.ShadowRF}
+	if w.SelectFrac > 0 {
+		sel, err := r.suite.SelectNative(w.Bench, selective.ByMisses, w.SelectFrac)
+		if err != nil {
+			return core.Options{}, err
+		}
+		opts.NativeProcs = sel
+	}
+	return opts, nil
+}
+
+// RunWorkload measures one workload: Reps fresh simulations, each
+// checked for identical simulated metrics (the simulator is
+// deterministic — any divergence is a simulator bug and fails the run),
+// host wall time and allocations recorded per repetition.
+func (r *Runner) RunWorkload(w Workload) (Sample, error) {
+	log := r.logger()
+	opts, err := r.options(w)
+	if err != nil {
+		return Sample{}, fmt.Errorf("perfwatch: %s: %v", w.Name, err)
+	}
+	// Warm the caches (image build, compression, native baseline)
+	// outside the timed region.
+	if _, err := r.suite.NativeBaseline(w.Bench, w.CacheKB); err != nil {
+		return Sample{}, fmt.Errorf("perfwatch: %s: %v", w.Name, err)
+	}
+
+	sample := Sample{Workload: w.Name, Version: w.Version}
+	var ms0, ms1 runtime.MemStats
+	for rep := 0; rep < r.Reps; rep++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		stats, err := r.suite.MeasureRun(w.Bench, opts, w.CacheKB)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return Sample{}, fmt.Errorf("perfwatch: %s rep %d: %v", w.Name, rep, err)
+		}
+		sim := NewSimMetrics(stats)
+		if rep == 0 {
+			sample.Sim = sim
+		} else if diffs := sample.Sim.Diff(sim); len(diffs) != 0 {
+			return Sample{}, fmt.Errorf("perfwatch: %s: simulated metrics diverged between repetitions (simulator nondeterminism): %v",
+				w.Name, diffs)
+		}
+		sample.Host.WallNs = append(sample.Host.WallNs, wall.Nanoseconds())
+		sample.Host.Allocs = append(sample.Host.Allocs, ms1.Mallocs-ms0.Mallocs)
+		sample.Host.Bytes = append(sample.Host.Bytes, ms1.TotalAlloc-ms0.TotalAlloc)
+		log.Info("rep", "workload", w.Name, "rep", rep,
+			"cycles", sim.Cycles, "instrs", sim.Instrs, "wall_ms", float64(wall.Microseconds())/1000)
+	}
+	sample.Host.Finalize(sample.Sim.Instrs + sample.Sim.HandlerInstrs)
+	return sample, nil
+}
+
+// Run measures every workload in order and returns one trajectory entry
+// stamped with the fingerprint. Workloads may be restricted to the
+// named subset (nil = all).
+func (r *Runner) Run(fp Fingerprint, only []string) (Entry, error) {
+	log := r.logger()
+	workloads := Registry()
+	if len(only) > 0 {
+		var filtered []Workload
+		for _, name := range only {
+			w, ok := Find(name)
+			if !ok {
+				return Entry{}, fmt.Errorf("perfwatch: unknown workload %q", name)
+			}
+			filtered = append(filtered, w)
+		}
+		workloads = filtered
+	}
+	entry := Entry{Time: time.Now().UTC().Format(time.RFC3339), Fingerprint: fp}
+	for i, w := range workloads {
+		log.Info("workload", "name", w.Name, "desc", w.Desc(), "n", i+1, "of", len(workloads))
+		s, err := r.RunWorkload(w)
+		if err != nil {
+			return Entry{}, err
+		}
+		entry.Samples = append(entry.Samples, s)
+		if r.Progress != nil {
+			r.Progress(i+1, len(workloads), s)
+		}
+	}
+	return entry, nil
+}

@@ -1,0 +1,295 @@
+package perfwatch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testScale keeps the measured runs small; the registry workloads are
+// exercised one at a time.
+const testScale = 0.02
+
+// TestRegistry locks the registry's shape: at least 8 workloads (the
+// acceptance floor), unique stable names, every one resolvable by Find.
+func TestRegistry(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 8 {
+		t.Fatalf("registry has %d workloads, need >= 8", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, w := range reg {
+		if w.Name == "" || w.Bench == "" || w.CacheKB == 0 || w.Version == 0 {
+			t.Errorf("workload %+v has empty identity fields", w)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if got, ok := Find(w.Name); !ok || got.Name != w.Name {
+			t.Errorf("Find(%q) failed", w.Name)
+		}
+	}
+	if _, ok := Find("no/such/workload"); ok {
+		t.Error("Find invented a workload")
+	}
+}
+
+// runEntry measures the named workloads once with the given reps.
+func runEntry(t *testing.T, reps int, only ...string) Entry {
+	t.Helper()
+	r := NewRunner(testScale, reps)
+	fp := NewFingerprint(testScale, reps)
+	entry, err := r.Run(fp, only)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
+// TestDeterminism runs the same workload in two fresh runners and
+// demands bit-identical simulated metrics — the property the whole
+// exact-comparison axis rests on. (Each RunWorkload additionally
+// cross-checks its own repetitions; reps=2 exercises that too.)
+func TestDeterminism(t *testing.T) {
+	a := runEntry(t, 2, "go/dict/16K")
+	b := runEntry(t, 2, "go/dict/16K")
+	sa, _ := a.Sample("go/dict/16K")
+	sb, _ := b.Sample("go/dict/16K")
+	if diffs := sa.Sim.Diff(sb.Sim); len(diffs) != 0 {
+		t.Fatalf("back-to-back runs diverged:\n%s", strings.Join(diffs, "\n"))
+	}
+	if sa.Sim.Cycles == 0 || sa.Sim.Instrs == 0 {
+		t.Fatal("degenerate sample (no cycles/instrs)")
+	}
+	if sa.Sim.Exceptions == 0 {
+		t.Fatal("dict workload took no decompression exceptions; workload is vacuous")
+	}
+	// CPI stack must sum exactly to cycles even through the map form.
+	var sum uint64
+	for _, v := range sa.Sim.CPIStack {
+		sum += v
+	}
+	if sum != sa.Sim.Cycles {
+		t.Fatalf("CPI stack sums to %d, cycles %d", sum, sa.Sim.Cycles)
+	}
+	if len(sa.Host.WallNs) != 2 || sa.Host.MedianNs == 0 {
+		t.Fatalf("host metrics not collected: %+v", sa.Host)
+	}
+}
+
+// TestTrajectoryRoundTrip is the golden round-trip: append two entries
+// to a file, load it back, and compare — identical runs must report
+// zero simulated deltas on every workload.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName("unit"))
+
+	e1 := runEntry(t, 1, "go/native/16K", "pegwit/dict+rf/4K")
+	e2 := runEntry(t, 1, "go/native/16K", "pegwit/dict+rf/4K")
+
+	traj, err := Load(path) // missing file -> fresh trajectory
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traj.Append(path, e1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := traj.Append(path, e2, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SchemaVersion != TrajectorySchema {
+		t.Fatalf("schema version %d, want %d", loaded.SchemaVersion, TrajectorySchema)
+	}
+	if loaded.Host != "unit" {
+		t.Fatalf("host %q, want unit", loaded.Host)
+	}
+	if len(loaded.Entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(loaded.Entries))
+	}
+
+	c := CompareEntries(loaded.Entries[0], loaded.Entries[1])
+	if len(c.Deltas) != 2 {
+		t.Fatalf("%d deltas, want 2", len(c.Deltas))
+	}
+	for _, d := range c.Deltas {
+		if d.Status != StatusSame {
+			t.Errorf("%s: status %s (note %q, diffs %v), want same", d.Workload, d.Status, d.Note, d.SimDiffs)
+		}
+		if d.CycleDelta != 0 {
+			t.Errorf("%s: cycle delta %v on identical runs", d.Workload, d.CycleDelta)
+		}
+	}
+	if !c.HostComparable {
+		t.Error("same-process fingerprints should be host-comparable")
+	}
+	if c.SimChanged() {
+		t.Error("identical runs reported a simulated change")
+	}
+}
+
+// TestTrajectoryKeep checks the entry-retention cap.
+func TestTrajectoryKeep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_keep.json")
+	traj := &Trajectory{SchemaVersion: TrajectorySchema, Host: "keep"}
+	for i := 0; i < 5; i++ {
+		if err := traj.Append(path, Entry{Time: string(rune('a' + i))}, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(traj.Entries) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(traj.Entries))
+	}
+	if traj.Entries[0].Time != "c" || traj.Entries[2].Time != "e" {
+		t.Fatalf("wrong entries survived: %+v", traj.Entries)
+	}
+}
+
+// TestTrajectorySchemaGuards: unknown/newer schema versions are
+// rejected, not silently misread.
+func TestTrajectorySchemaGuards(t *testing.T) {
+	dir := t.TempDir()
+	newer := filepath.Join(dir, "BENCH_newer.json")
+	os.WriteFile(newer, []byte(`{"schema_version": 999, "host": "x", "entries": []}`), 0o644)
+	if _, err := Load(newer); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future schema accepted: %v", err)
+	}
+	unversioned := filepath.Join(dir, "BENCH_unversioned.json")
+	os.WriteFile(unversioned, []byte(`{"host": "x"}`), 0o644)
+	if _, err := Load(unversioned); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("unversioned file accepted: %v", err)
+	}
+	if _, err := Load(filepath.Join(dir, "BENCH_garbage.json")); err != nil {
+		t.Fatalf("missing file should yield empty trajectory, got %v", err)
+	}
+}
+
+// TestGateCatchesInjectedRegression is the gate self-test: a +5%
+// simulated-cycle regression injected into an otherwise identical run
+// must produce violations on every perturbed workload, and the clean
+// comparison must pass.
+func TestGateCatchesInjectedRegression(t *testing.T) {
+	base := runEntry(t, 1, "go/dict/16K", "go/native/16K")
+	clean := runEntry(t, 1, "go/dict/16K", "go/native/16K")
+
+	policy := GatePolicy{}
+	if vs := policy.Check(CompareEntries(base, clean)); len(vs) != 0 {
+		t.Fatalf("clean run violated the gate: %+v", vs)
+	}
+
+	regressed := runEntry(t, 1, "go/dict/16K", "go/native/16K")
+	PerturbSim(&regressed, 1.05)
+	vs := policy.Check(CompareEntries(base, regressed))
+	if len(vs) != 2 {
+		t.Fatalf("expected 2 violations (one per workload), got %+v", vs)
+	}
+	for _, v := range vs {
+		if !strings.Contains(v.Reason, "simulated metrics changed") {
+			t.Errorf("violation reason %q", v.Reason)
+		}
+		if !strings.Contains(v.Reason, "+5.0") {
+			t.Errorf("violation should carry the +5%% delta: %q", v.Reason)
+		}
+	}
+
+	// AllowSimChange waives the simulated gate (re-baselining PRs).
+	if vs := (GatePolicy{AllowSimChange: true}).Check(CompareEntries(base, regressed)); len(vs) != 0 {
+		t.Fatalf("AllowSimChange still violated: %+v", vs)
+	}
+}
+
+// TestCompareSkips covers the non-comparable paths: version bumps,
+// added and removed workloads, scale mismatches.
+func TestCompareSkips(t *testing.T) {
+	mk := func(name string, version int, cycles uint64) Sample {
+		return Sample{Workload: name, Version: version,
+			Sim: SimMetrics{Cycles: cycles, Instrs: 1, CPIStack: map[string]uint64{"user_execute": cycles}}}
+	}
+	fp := Fingerprint{Scale: 0.1}
+	old := Entry{Fingerprint: fp, Samples: []Sample{mk("a", 1, 100), mk("b", 1, 100), mk("gone", 1, 5)}}
+	new := Entry{Fingerprint: fp, Samples: []Sample{mk("a", 2, 200), mk("b", 1, 100), mk("added", 1, 7)}}
+
+	c := CompareEntries(old, new)
+	byName := map[string]WorkloadDelta{}
+	for _, d := range c.Deltas {
+		byName[d.Workload] = d
+	}
+	if d := byName["a"]; d.Status != StatusSkipped || !strings.Contains(d.Note, "version") {
+		t.Errorf("version bump: %+v", d)
+	}
+	if d := byName["b"]; d.Status != StatusSame {
+		t.Errorf("unchanged: %+v", d)
+	}
+	if d := byName["gone"]; d.Status != StatusSkipped || !strings.Contains(d.Note, "removed") {
+		t.Errorf("removed: %+v", d)
+	}
+	if d := byName["added"]; d.Status != StatusSkipped || !strings.Contains(d.Note, "baseline") {
+		t.Errorf("added: %+v", d)
+	}
+	if (GatePolicy{}).Check(c) != nil {
+		t.Error("skipped workloads must not violate the gate")
+	}
+
+	// A scale mismatch skips everything — different workloads entirely.
+	newScale := new
+	newScale.Fingerprint.Scale = 0.2
+	for _, d := range CompareEntries(old, newScale).Deltas {
+		if d.Status != StatusSkipped {
+			t.Errorf("scale mismatch compared %s: %+v", d.Workload, d)
+		}
+	}
+}
+
+// TestHostGate drives the statistical axis with synthetic wall times:
+// a clearly separated slowdown beyond the threshold fails, an
+// insignificant or sub-threshold one does not.
+func TestHostGate(t *testing.T) {
+	entry := func(ns []int64) Entry {
+		h := HostMetrics{WallNs: ns}
+		h.Finalize(1000)
+		return Entry{
+			Fingerprint: Fingerprint{GoVersion: "go", Scale: 1},
+			Samples: []Sample{{Workload: "w", Version: 1,
+				Sim:  SimMetrics{Cycles: 10, Instrs: 1, CPIStack: map[string]uint64{"user_execute": 10}},
+				Host: h}},
+		}
+	}
+	fast := entry([]int64{100, 101, 99, 100, 102, 98})
+	slow := entry([]int64{150, 151, 149, 150, 152, 148}) // +50%, cleanly separated
+
+	c := CompareEntries(fast, slow)
+	if !c.HostComparable {
+		t.Fatal("fingerprints should be host-comparable")
+	}
+	d := c.Deltas[0]
+	if d.Status != StatusSame {
+		t.Fatalf("sim metrics should match: %+v", d)
+	}
+	if d.Host == nil || !d.Host.Significant {
+		t.Fatalf("separated distributions not significant: %+v", d.Host)
+	}
+	if vs := (GatePolicy{HostThreshold: 0.2}).Check(c); len(vs) != 1 ||
+		!strings.Contains(vs[0].Reason, "host wall time regressed") {
+		t.Fatalf("host gate missed a +50%% regression: %+v", vs)
+	}
+	// Below threshold: +50% > 0.6? no violation at a 60% threshold.
+	if vs := (GatePolicy{HostThreshold: 0.6}).Check(c); len(vs) != 0 {
+		t.Fatalf("sub-threshold slowdown violated: %+v", vs)
+	}
+	// Sim-only gate (threshold 0) ignores host entirely.
+	if vs := (GatePolicy{}).Check(c); len(vs) != 0 {
+		t.Fatalf("sim-only gate used host metrics: %+v", vs)
+	}
+	// Too few repetitions: never significant, never gated.
+	few := CompareEntries(entry([]int64{100, 100}), entry([]int64{200, 200}))
+	if d := few.Deltas[0]; d.Host.Significant {
+		t.Fatalf("2-rep comparison claimed significance: %+v", d.Host)
+	}
+}

@@ -1,0 +1,192 @@
+package perfwatch
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/cpu"
+)
+
+// SimMetrics are the deterministic axis of a sample: everything here is
+// a pure function of the workload definition and the simulator code, so
+// across two trees any difference is a real behaviour change and is
+// reported exactly, not statistically. Counters are kept as integers —
+// derived ratios are computed at report time so comparison never goes
+// through floating point.
+type SimMetrics struct {
+	Cycles        uint64 `json:"cycles"`
+	Instrs        uint64 `json:"instrs"`
+	HandlerInstrs uint64 `json:"handler_instrs"`
+
+	Exceptions      uint64 `json:"exceptions"`
+	IMissNative     uint64 `json:"imiss_native"`
+	IMissCompressed uint64 `json:"imiss_compressed"`
+	ExcCyclesMax    uint64 `json:"exc_cycles_max"`
+
+	FetchStalls   uint64 `json:"fetch_stalls"`
+	LoadStalls    uint64 `json:"load_stalls"`
+	LoadUseStalls uint64 `json:"load_use_stalls"`
+
+	// CPIStack maps cpu.CycleKind.Key() to attributed cycles; the values
+	// sum exactly to Cycles (the simulator enforces this invariant).
+	CPIStack map[string]uint64 `json:"cpi_stack"`
+}
+
+// NewSimMetrics digests cpu.Stats into the sample form.
+func NewSimMetrics(s cpu.Stats) SimMetrics {
+	m := SimMetrics{
+		Cycles:          s.Cycles,
+		Instrs:          s.Instrs,
+		HandlerInstrs:   s.HandlerInstrs,
+		Exceptions:      s.Exceptions,
+		IMissNative:     s.IMissNative,
+		IMissCompressed: s.IMissCompressed,
+		ExcCyclesMax:    s.ExcCyclesMax,
+		FetchStalls:     s.FetchStalls,
+		LoadStalls:      s.LoadStalls,
+		LoadUseStalls:   s.LoadUseStalls,
+		CPIStack:        make(map[string]uint64, cpu.NumCycleKinds),
+	}
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		m.CPIStack[k.Key()] = s.CPIStack[k]
+	}
+	return m
+}
+
+// CPI returns cycles per committed user instruction.
+func (m SimMetrics) CPI() float64 {
+	if m.Instrs == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Instrs)
+}
+
+// MissRatio returns non-speculative I-cache misses per user instruction.
+func (m SimMetrics) MissRatio() float64 {
+	if m.Instrs == 0 {
+		return 0
+	}
+	return float64(m.IMissNative+m.IMissCompressed) / float64(m.Instrs)
+}
+
+// Diff returns a human-readable line per field that differs between the
+// two metric sets (empty = exactly equal). Field order is stable.
+func (m SimMetrics) Diff(o SimMetrics) []string {
+	var diffs []string
+	cmp := func(name string, a, b uint64) {
+		if a != b {
+			diffs = append(diffs, fmt.Sprintf("%s: %d -> %d (%+d)", name, a, b, int64(b)-int64(a)))
+		}
+	}
+	cmp("cycles", m.Cycles, o.Cycles)
+	cmp("instrs", m.Instrs, o.Instrs)
+	cmp("handler_instrs", m.HandlerInstrs, o.HandlerInstrs)
+	cmp("exceptions", m.Exceptions, o.Exceptions)
+	cmp("imiss_native", m.IMissNative, o.IMissNative)
+	cmp("imiss_compressed", m.IMissCompressed, o.IMissCompressed)
+	cmp("exc_cycles_max", m.ExcCyclesMax, o.ExcCyclesMax)
+	cmp("fetch_stalls", m.FetchStalls, o.FetchStalls)
+	cmp("load_stalls", m.LoadStalls, o.LoadStalls)
+	cmp("load_use_stalls", m.LoadUseStalls, o.LoadUseStalls)
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		cmp("cpi_stack."+k.Key(), m.CPIStack[k.Key()], o.CPIStack[k.Key()])
+	}
+	return diffs
+}
+
+// HostMetrics are the statistical axis of a sample: wall-clock time and
+// allocation counts of the simulator process itself, one element per
+// repetition. These vary with the machine, the scheduler and the
+// garbage collector, so they are summarised by median/IQR and compared
+// with a rank-sum test rather than exactly.
+type HostMetrics struct {
+	WallNs []int64  `json:"wall_ns"`
+	Allocs []uint64 `json:"allocs"`
+	Bytes  []uint64 `json:"bytes"`
+
+	// Summary statistics over WallNs, filled by Finalize.
+	MedianNs int64 `json:"median_ns"`
+	IQRNs    int64 `json:"iqr_ns"`
+	// NsPerInstr is MedianNs divided by total simulated instructions
+	// (user + handler) — the simulator's headline speed number.
+	NsPerInstr float64 `json:"ns_per_instr"`
+}
+
+// Finalize computes the summary statistics from the raw repetitions.
+func (h *HostMetrics) Finalize(simInstrs uint64) {
+	if len(h.WallNs) == 0 {
+		return
+	}
+	h.MedianNs = medianInt64(h.WallNs)
+	h.IQRNs = iqrInt64(h.WallNs)
+	if simInstrs > 0 {
+		h.NsPerInstr = float64(h.MedianNs) / float64(simInstrs)
+	}
+}
+
+// Sample is one workload's measurement: the exact simulated axis plus
+// the statistical host axis.
+type Sample struct {
+	Workload string      `json:"workload"`
+	Version  int         `json:"version"`
+	Sim      SimMetrics  `json:"sim"`
+	Host     HostMetrics `json:"host"`
+}
+
+// Fingerprint identifies the configuration a trajectory entry was
+// measured under. Simulated metrics are comparable whenever Scale
+// matches; host metrics are only comparable when the whole fingerprint
+// (minus GitSHA and Time) matches.
+type Fingerprint struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Hostname   string  `json:"hostname,omitempty"`
+	Scale      float64 `json:"scale"`
+	Reps       int     `json:"reps"`
+	GitSHA     string  `json:"git_sha,omitempty"`
+}
+
+// NewFingerprint captures the current process configuration. GitSHA is
+// left for the caller (it needs the working tree, not the runtime).
+func NewFingerprint(scale float64, reps int) Fingerprint {
+	host, _ := os.Hostname()
+	return Fingerprint{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Hostname:   host,
+		Scale:      scale,
+		Reps:       reps,
+	}
+}
+
+// HostComparable reports whether host metrics measured under the two
+// fingerprints may be meaningfully compared.
+func (f Fingerprint) HostComparable(o Fingerprint) bool {
+	return f.GoVersion == o.GoVersion && f.GOOS == o.GOOS && f.GOARCH == o.GOARCH &&
+		f.GOMAXPROCS == o.GOMAXPROCS && f.Hostname == o.Hostname && f.Scale == o.Scale
+}
+
+// Entry is one complete registry run: a fingerprint plus one sample per
+// workload, in registry order.
+type Entry struct {
+	Time        string      `json:"time"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Samples     []Sample    `json:"samples"`
+}
+
+// Sample returns the entry's sample for the named workload.
+func (e Entry) Sample(workload string) (Sample, bool) {
+	for _, s := range e.Samples {
+		if s.Workload == workload {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,128 @@
+package perfwatch
+
+import (
+	"math"
+	"sort"
+)
+
+// Order statistics and the Mann–Whitney U rank-sum test used to decide
+// whether two sets of host wall-time repetitions plausibly come from the
+// same distribution — the same test benchstat applies to Go benchmark
+// results. With the small repetition counts perfwatch uses (5–10) the
+// normal approximation with tie correction is accurate enough for a
+// gate; the test degenerates to "not significant" below 4+4
+// observations, which is the correct failure mode for a gate (too little
+// data to condemn a change).
+
+func sortedCopy(xs []int64) []int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// medianInt64 returns the median of xs (0 when empty).
+func medianInt64(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := sortedCopy(xs)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// quantileInt64 returns the q-quantile of sorted s by nearest-rank.
+func quantileInt64(s []int64, q float64) int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// iqrInt64 returns the interquartile range of xs.
+func iqrInt64(xs []int64) int64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := sortedCopy(xs)
+	return quantileInt64(s, 0.75) - quantileInt64(s, 0.25)
+}
+
+// mannWhitneyP returns the two-sided p-value of the Mann–Whitney U test
+// on samples a and b, using the normal approximation with continuity
+// and tie correction. Returns 1 (never significant) when either sample
+// has fewer than 4 observations or all values are tied.
+func mannWhitneyP(a, b []int64) float64 {
+	n1, n2 := len(a), len(b)
+	if n1 < 4 || n2 < 4 {
+		return 1
+	}
+	// Rank the pooled sample, midranks for ties.
+	type obs struct {
+		v    int64
+		from int // 0 = a, 1 = b
+	}
+	pool := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		pool = append(pool, obs{v, 0})
+	}
+	for _, v := range b {
+		pool = append(pool, obs{v, 1})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	n := n1 + n2
+	ranks := make([]float64, n)
+	tieTerm := 0.0 // sum of t^3 - t over tie groups
+	for i := 0; i < n; {
+		j := i
+		for j < n && pool[j].v == pool[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range pool {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1*(n1+1))/2
+	mu := float64(n1*n2) / 2
+	sigma2 := float64(n1*n2) / 12 * (float64(n+1) - tieTerm/float64(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // every observation tied: no evidence of difference
+	}
+	// Continuity correction toward the mean.
+	z := (u1 - mu)
+	if z > 0.5 {
+		z -= 0.5
+	} else if z < -0.5 {
+		z += 0.5
+	} else {
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	return 2 * normalTail(math.Abs(z))
+}
+
+// normalTail returns P(Z > z) for a standard normal Z.
+func normalTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

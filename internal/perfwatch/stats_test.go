@@ -1,0 +1,61 @@
+package perfwatch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMedianIQR(t *testing.T) {
+	if m := medianInt64(nil); m != 0 {
+		t.Errorf("median(nil) = %d", m)
+	}
+	if m := medianInt64([]int64{5}); m != 5 {
+		t.Errorf("median([5]) = %d", m)
+	}
+	if m := medianInt64([]int64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %d", m)
+	}
+	if m := medianInt64([]int64{4, 1, 3, 2}); m != 2 { // (2+3)/2 truncated
+		t.Errorf("even median = %d", m)
+	}
+	if q := iqrInt64([]int64{7}); q != 0 {
+		t.Errorf("iqr single = %d", q)
+	}
+	// 1..8: q1 = 2 (ceil(0.25*8)=2nd), q3 = 6 (ceil(0.75*8)=6th) -> IQR 4.
+	if q := iqrInt64([]int64{8, 7, 6, 5, 4, 3, 2, 1}); q != 4 {
+		t.Errorf("iqr(1..8) = %d, want 4", q)
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	// Identical samples: p = 1 (all tied, zero variance guard).
+	same := []int64{10, 10, 10, 10, 10}
+	if p := mannWhitneyP(same, same); p != 1 {
+		t.Errorf("identical samples p = %v, want 1", p)
+	}
+	// Too few observations: never significant.
+	if p := mannWhitneyP([]int64{1, 2, 3}, []int64{100, 200, 300}); p != 1 {
+		t.Errorf("n<4 p = %v, want 1", p)
+	}
+	// Cleanly separated distributions: strongly significant.
+	a := []int64{100, 101, 99, 102, 98, 100}
+	b := []int64{200, 201, 199, 202, 198, 200}
+	if p := mannWhitneyP(a, b); p >= Alpha {
+		t.Errorf("separated distributions p = %v, want < %v", p, Alpha)
+	}
+	// Symmetric: order of arguments doesn't change the two-sided p.
+	if p1, p2 := mannWhitneyP(a, b), mannWhitneyP(b, a); p1 != p2 {
+		t.Errorf("asymmetric p: %v vs %v", p1, p2)
+	}
+	// Same distribution, noisy: should usually NOT be significant.
+	// (Deterministic seed keeps this stable.)
+	rng := rand.New(rand.NewSource(7))
+	var x, y []int64
+	for i := 0; i < 8; i++ {
+		x = append(x, 1000+rng.Int63n(50))
+		y = append(y, 1000+rng.Int63n(50))
+	}
+	if p := mannWhitneyP(x, y); p < Alpha {
+		t.Errorf("same-distribution noise flagged significant: p = %v (samples %v %v)", p, x, y)
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -79,6 +80,27 @@ func (s *SetCounters) Hottest(n int) []HotSet {
 		out = append(out, HotSet{Set: i, Miss: s.Miss[i], Conflict: s.Conflict[i], Evict: s.Evict[i]})
 	}
 	return out
+}
+
+// WriteHeatmapCSV writes the full per-set counters of the given caches
+// as CSV — one row per set, every set included (zero rows too, so
+// column positions line up across runs). Row order is deterministic:
+// caches in argument order, sets ascending; nil counters are skipped.
+// Columns: cache,set,miss,conflict,evict.
+func WriteHeatmapCSV(w io.Writer, counters ...*SetCounters) error {
+	var b strings.Builder
+	b.WriteString("cache,set,miss,conflict,evict\n")
+	for _, s := range counters {
+		if s == nil {
+			continue
+		}
+		for set := range s.Miss {
+			fmt.Fprintf(&b, "%s,%d,%d,%d,%d\n",
+				s.Name, set, s.Miss[set], s.Conflict[set], s.Evict[set])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // String renders a one-line-per-row heat strip: sets are grouped into at

@@ -61,6 +61,97 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	// Merging two histograms must equal observing both streams directly.
+	a := NewHistogram("a", "cycles")
+	b := NewHistogram("b", "cycles")
+	direct := NewHistogram("d", "cycles")
+	for i, v := range []uint64{0, 3, 8, 9, 1 << 30, 17, 2, 2, 512} {
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		direct.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count != direct.Count || a.Sum != direct.Sum || a.Min != direct.Min || a.Max != direct.Max {
+		t.Fatalf("merged count/sum/min/max %d/%d/%d/%d, direct %d/%d/%d/%d",
+			a.Count, a.Sum, a.Min, a.Max, direct.Count, direct.Sum, direct.Min, direct.Max)
+	}
+	if a.Buckets != direct.Buckets {
+		t.Fatalf("merged buckets %v\ndirect buckets %v", a.Buckets, direct.Buckets)
+	}
+	if a.Quantile(0.5) != direct.Quantile(0.5) || a.Quantile(0.99) != direct.Quantile(0.99) {
+		t.Fatal("merged quantiles differ from direct observation")
+	}
+
+	// Merging empty or nil is a no-op.
+	before := *a
+	a.Merge(NewHistogram("empty", "cycles"))
+	a.Merge(nil)
+	if *a != before {
+		t.Fatal("merging empty/nil changed the histogram")
+	}
+
+	// Merging INTO an empty histogram adopts the other's min (the
+	// zero-value Min of an empty histogram must not win).
+	empty := NewHistogram("e", "cycles")
+	src := NewHistogram("s", "cycles")
+	src.Observe(7)
+	src.Observe(9)
+	empty.Merge(src)
+	if empty.Min != 7 || empty.Max != 9 || empty.Count != 2 {
+		t.Fatalf("empty.Merge(src): min/max/count = %d/%d/%d", empty.Min, empty.Max, empty.Count)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	// Zero observations: all digests are zero, rendering doesn't panic.
+	var empty Histogram
+	if empty.Quantile(0) != 0 || empty.Quantile(1) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram digests should all be 0")
+	}
+	if s := empty.Summary(); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	_ = empty.String()
+
+	// Observe(0): lands in bucket 0 ([0,1)), min stays 0, quantiles
+	// report the bucket's inclusive upper edge 0.
+	z := NewHistogram("z", "cycles")
+	z.Observe(0)
+	if z.Buckets[0] != 1 || z.Min != 0 || z.Max != 0 {
+		t.Fatalf("Observe(0): bucket0=%d min=%d max=%d", z.Buckets[0], z.Min, z.Max)
+	}
+	if lo, hi := BucketRange(0); lo != 0 || hi != 1 {
+		t.Fatalf("BucketRange(0) = [%d,%d)", lo, hi)
+	}
+	if q := z.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile(0.5) after Observe(0) = %d, want 0", q)
+	}
+
+	// Top bucket saturation: MaxUint64 lands in the last bucket (64),
+	// whose upper edge 2^64 wraps to 0 — Quantile must still clamp to
+	// the observed max instead of reporting the wrapped edge.
+	const maxU64 = ^uint64(0)
+	top := NewHistogram("top", "cycles")
+	top.Observe(maxU64)
+	top.Observe(maxU64 - 1)
+	if top.Buckets[histBuckets-1] != 2 {
+		t.Fatalf("top bucket holds %d, want 2", top.Buckets[histBuckets-1])
+	}
+	if lo, hi := BucketRange(histBuckets - 1); lo != 1<<63 || hi != 0 {
+		t.Fatalf("BucketRange(64) = [%d,%d), want [2^63, wrapped 0)", lo, hi)
+	}
+	if q := top.Quantile(0.99); q != maxU64 {
+		t.Fatalf("saturated quantile = %d, want clamped max %d", q, maxU64)
+	}
+	if q := top.Quantile(0.01); q != maxU64 {
+		t.Fatalf("saturated low quantile = %d, want clamped max %d", q, maxU64)
+	}
+}
+
 func TestHistogramSummaryAndString(t *testing.T) {
 	h := NewHistogram("latency", "cycles")
 	h.Observe(3)

@@ -9,6 +9,38 @@ import (
 	"repro/internal/cpu"
 )
 
+// ReportSchema versions the shared report schema emitted by ccprof,
+// `simrun -json` and embedded in perfwatch trajectory tooling. History:
+//
+//	1 — PR 3 initial shape (implicit: reports carried no version field).
+//	2 — adds the self-describing `config` stanza (scheme, seed, cache
+//	    geometry) carrying `schema_version`.
+//
+// Additive changes (new fields) do not bump the version; renames and
+// semantic changes do.
+const ReportSchema = 2
+
+// CacheGeometry describes one cache's configuration.
+type CacheGeometry struct {
+	SizeBytes int `json:"size_bytes"`
+	LineBytes int `json:"line_bytes"`
+	Ways      int `json:"ways"`
+}
+
+// RunConfig is the report's self-describing config stanza: enough to
+// re-run the measurement and to tell two reports apart without
+// out-of-band context. Trajectory entries and one-off reports share it.
+type RunConfig struct {
+	SchemaVersion int    `json:"schema_version"`
+	Scheme        string `json:"scheme"`
+	// Seed is the synthetic benchmark's generator seed (0 for images
+	// loaded from files).
+	Seed     int64         `json:"seed,omitempty"`
+	ICache   CacheGeometry `json:"icache"`
+	DCache   CacheGeometry `json:"dcache"`
+	MaxInstr uint64        `json:"max_instr,omitempty"`
+}
+
 // CPIComponent is one slice of the CPI stack.
 type CPIComponent struct {
 	// Name is the stable machine-readable component key (cpu.CycleKind.Key).
@@ -47,6 +79,11 @@ type BusReport struct {
 type Report struct {
 	Image  string `json:"image,omitempty"`
 	Scheme string `json:"scheme,omitempty"`
+
+	// Config is the self-describing run configuration (schema v2+).
+	// NewReport fills the machine geometry; SetIdentity fills scheme
+	// and seed.
+	Config *RunConfig `json:"config,omitempty"`
 
 	Cycles        uint64  `json:"cycles"`
 	Instrs        uint64  `json:"instrs"`
@@ -104,6 +141,20 @@ func NewReport(c *cpu.CPU, t *Collector) *Report {
 		},
 		Bus:      BusReport{Reads: c.Mem.Reads, BytesRead: c.Mem.BytesRead},
 		ExitCode: exit,
+		Config: &RunConfig{
+			SchemaVersion: ReportSchema,
+			ICache: CacheGeometry{
+				SizeBytes: c.Cfg.ICache.SizeBytes,
+				LineBytes: c.Cfg.ICache.LineBytes,
+				Ways:      c.Cfg.ICache.Ways,
+			},
+			DCache: CacheGeometry{
+				SizeBytes: c.Cfg.DCache.SizeBytes,
+				LineBytes: c.Cfg.DCache.LineBytes,
+				Ways:      c.Cfg.DCache.Ways,
+			},
+			MaxInstr: c.Cfg.MaxInstr,
+		},
 	}
 	if s.Instrs > 0 {
 		r.CPI = float64(s.Cycles) / float64(s.Instrs)
@@ -142,6 +193,17 @@ func NewReport(c *cpu.CPU, t *Collector) *Report {
 	return r
 }
 
+// SetIdentity records what ran: the image name, the compression scheme
+// and (for synthetic benchmarks) the generator seed, mirrored into the
+// config stanza so the report is self-describing.
+func (r *Report) SetIdentity(image, scheme string, seed int64) {
+	r.Image, r.Scheme = image, scheme
+	if r.Config != nil {
+		r.Config.Scheme = scheme
+		r.Config.Seed = seed
+	}
+}
+
 // WriteJSON writes the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -161,6 +223,16 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	}
 	if r.Scheme != "" {
 		row("scheme", r.Scheme)
+	}
+	if r.Config != nil {
+		row("config.schema_version", r.Config.SchemaVersion)
+		if r.Config.Seed != 0 {
+			row("config.seed", r.Config.Seed)
+		}
+		row("config.icache", fmt.Sprintf("%dB/%dB/%dway",
+			r.Config.ICache.SizeBytes, r.Config.ICache.LineBytes, r.Config.ICache.Ways))
+		row("config.dcache", fmt.Sprintf("%dB/%dB/%dway",
+			r.Config.DCache.SizeBytes, r.Config.DCache.LineBytes, r.Config.DCache.Ways))
 	}
 	row("cycles", r.Cycles)
 	row("instrs", r.Instrs)

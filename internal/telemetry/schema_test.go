@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestReportConfigStanza locks the schema-v2 config stanza: NewReport
+// fills the machine geometry and schema version, SetIdentity mirrors
+// scheme and seed, and the JSON round-trips with the stable field names.
+func TestReportConfigStanza(t *testing.T) {
+	im := buildCompressed(t)
+	col := New()
+	c := runCollected(t, im, col, nil)
+	rep := NewReport(c, col)
+
+	if rep.Config == nil {
+		t.Fatal("NewReport left Config nil")
+	}
+	if rep.Config.SchemaVersion != ReportSchema {
+		t.Fatalf("schema version %d, want %d", rep.Config.SchemaVersion, ReportSchema)
+	}
+	if ReportSchema < 2 {
+		t.Fatalf("ReportSchema %d: the config stanza requires version >= 2", ReportSchema)
+	}
+	cfg := c.Cfg
+	if g := rep.Config.ICache; g.SizeBytes != cfg.ICache.SizeBytes ||
+		g.LineBytes != cfg.ICache.LineBytes || g.Ways != cfg.ICache.Ways {
+		t.Fatalf("icache geometry %+v, machine %+v", g, cfg.ICache)
+	}
+	if g := rep.Config.DCache; g.SizeBytes != cfg.DCache.SizeBytes ||
+		g.LineBytes != cfg.DCache.LineBytes || g.Ways != cfg.DCache.Ways {
+		t.Fatalf("dcache geometry %+v, machine %+v", g, cfg.DCache)
+	}
+
+	rep.SetIdentity("prog.img", "dict", 42)
+	if rep.Config.Scheme != "dict" || rep.Config.Seed != 42 {
+		t.Fatalf("SetIdentity did not mirror into config: %+v", rep.Config)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	conf, ok := decoded["config"].(map[string]any)
+	if !ok {
+		t.Fatalf("no config stanza in JSON: %s", buf.String())
+	}
+	for _, key := range []string{"schema_version", "scheme", "seed", "icache", "dcache"} {
+		if _, ok := conf[key]; !ok {
+			t.Errorf("config stanza missing %q: %v", key, conf)
+		}
+	}
+	if v := conf["schema_version"].(float64); int(v) != ReportSchema {
+		t.Errorf("encoded schema_version %v, want %d", v, ReportSchema)
+	}
+
+	// The CSV form carries the same stanza, greppably.
+	buf.Reset()
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"config.schema_version,2", "config.seed,42", "config.icache,"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("CSV missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestHeatmapCSV locks the -heatmap export format: header, one row per
+// set including zero rows, caches in argument order, sets ascending.
+func TestHeatmapCSV(t *testing.T) {
+	ic := NewSetCounters("I-cache", 4)
+	dc := NewSetCounters("D-cache", 2)
+	ic.CacheMiss(2, true)
+	ic.CacheMiss(2, false)
+	ic.CacheEvict(2)
+	ic.CacheMiss(0, false)
+	dc.CacheMiss(1, true)
+
+	var buf bytes.Buffer
+	if err := WriteHeatmapCSV(&buf, ic, dc); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"cache,set,miss,conflict,evict",
+		"I-cache,0,1,0,0",
+		"I-cache,1,0,0,0",
+		"I-cache,2,2,1,1",
+		"I-cache,3,0,0,0",
+		"D-cache,0,0,0,0",
+		"D-cache,1,1,1,0",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Fatalf("CSV mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	// Deterministic: a second export is byte-identical, nil counters skip.
+	var again bytes.Buffer
+	if err := WriteHeatmapCSV(&again, ic, nil, dc); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != want {
+		t.Fatalf("second export differs:\n%s", again.String())
+	}
+}
+
+// TestHeatmapCSVFromRun exports a real collected run and checks shape:
+// set count rows per cache and totals that match the counters.
+func TestHeatmapCSVFromRun(t *testing.T) {
+	im := buildCompressed(t)
+	col := New()
+	runCollected(t, im, col, nil)
+	var buf bytes.Buffer
+	if err := WriteHeatmapCSV(&buf, col.IC, col.DC); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	wantRows := 1 + len(col.IC.Miss) + len(col.DC.Miss)
+	if len(lines) != wantRows {
+		t.Fatalf("%d lines, want %d (header + per-set rows)", len(lines), wantRows)
+	}
+	if lines[0] != "cache,set,miss,conflict,evict" {
+		t.Fatalf("header %q", lines[0])
+	}
+}
