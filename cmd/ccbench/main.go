@@ -176,13 +176,14 @@ func splitOnly(s string) []string {
 func cmdRun(args []string, log *slog.Logger) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var (
-		scale  = fs.Float64("scale", defaultScale(), "dynamic-length multiplier (RTD_BENCH_SCALE)")
-		reps   = fs.Int("reps", 5, "timed repetitions per workload (host metrics)")
-		host   = fs.String("host", "", "host label for the trajectory file (default: hostname)")
-		out    = fs.String("o", "", "trajectory file (default: BENCH_<host>.json)")
-		only   = fs.String("only", "", "comma-separated workload names (default: all)")
-		keep   = fs.Int("keep", 0, "keep at most N entries in the file (0 = unlimited)")
-		expAdr = fs.String("expvar", "", "serve expvar progress at this address (e.g. localhost:8372)")
+		scale   = fs.Float64("scale", defaultScale(), "dynamic-length multiplier (RTD_BENCH_SCALE)")
+		reps    = fs.Int("reps", 5, "timed repetitions per workload (host metrics)")
+		host    = fs.String("host", "", "host label for the trajectory file (default: hostname)")
+		out     = fs.String("o", "", "trajectory file (default: BENCH_<host>.json)")
+		only    = fs.String("only", "", "comma-separated workload names (default: all)")
+		keep    = fs.Int("keep", 0, "keep at most N entries in the file (0 = unlimited)")
+		workers = fs.Int("workers", 1, "worker goroutines for the workload fan-out (<=0 = GOMAXPROCS; >1 perturbs host timings)")
+		expAdr  = fs.String("expvar", "", "serve expvar progress at this address (e.g. localhost:8372)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,6 +211,7 @@ func cmdRun(args []string, log *slog.Logger) error {
 	r := perfwatch.NewRunner(*scale, *reps)
 	r.Log = log
 	r.Progress = pv.update
+	r.Workers = *workers
 	entry, err := r.Run(fp, splitOnly(*only))
 	if err != nil {
 		return err
@@ -288,6 +290,7 @@ func cmdGate(args []string, log *slog.Logger) error {
 		hostThr  = fs.Float64("host-threshold", 0, "fail on significant host slowdowns beyond this fraction (0 = sim-only gate)")
 		allowSim = fs.Bool("allow-sim", false, "permit simulated-metric changes (report, don't fail)")
 		perturb  = fs.Float64("perturb", 0, "self-test: multiply measured simulated cycles by this factor")
+		workers  = fs.Int("workers", 1, "worker goroutines for the workload fan-out (<=0 = GOMAXPROCS; >1 perturbs host timings)")
 		expAdr   = fs.String("expvar", "", "serve expvar progress at this address")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -313,6 +316,7 @@ func cmdGate(args []string, log *slog.Logger) error {
 	r := perfwatch.NewRunner(scale, *reps)
 	r.Log = log
 	r.Progress = pv.update
+	r.Workers = *workers
 	entry, err := r.Run(fp, splitOnly(*only))
 	if err != nil {
 		return err

@@ -35,6 +35,7 @@ var (
 	timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock budget per case (0 = unlimited)")
 	maxSteps = flag.Uint64("maxsteps", 0, "user-instruction budget per case (0 = default)")
 	stop     = flag.Int("stopafter", 0, "stop after this many findings (0 = run the full range)")
+	workers  = flag.Int("workers", 1, "worker goroutines for the case fan-out (<=0 = GOMAXPROCS; outputs stay in seed order)")
 	quiet    = flag.Bool("q", false, "suppress per-case progress")
 )
 
@@ -55,6 +56,7 @@ func main() {
 		MaxSteps:  *maxSteps,
 		Timeout:   *timeout,
 		StopAfter: *stop,
+		Workers:   *workers,
 	}
 	switch *shadow {
 	case "auto":

@@ -53,6 +53,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write CSV files for plotting into this directory")
 		scale    = flag.Float64("scale", 1.0, "dynamic length multiplier")
 		only     = flag.String("only", "", "comma-separated benchmark subset")
+		workers  = flag.Int("workers", 0, "worker goroutines for per-benchmark sharding (<=0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if !(*all || *table1 || *table2 || *table3 || *fig4 || *fig5 || *handlers || *layout || *ablate || *place || *gran || *latency || *hw || *cpistack || *comp || *csvDir != "") {
@@ -61,6 +62,7 @@ func main() {
 	}
 
 	s := experiment.NewSuite(*scale)
+	s.Workers = *workers
 	if *only != "" {
 		s.Only = strings.Split(*only, ",")
 	}

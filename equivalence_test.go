@@ -1,0 +1,178 @@
+package rtd_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	rtd "repro"
+)
+
+// This file is the predecode equivalence battery: every corpus program,
+// MiniC program and synthetic benchmark runs twice — once on the
+// predecoded-dispatch hot loop (the default, with its self-audit
+// enabled) and once on the reference word-at-a-time decoder
+// (DisablePredecode) — and the two runs must produce identical output
+// and bit-identical cpu.Stats, including the full CPI stack. The
+// predecode cache is a host-side optimisation; any simulated difference
+// is a bug.
+
+// runBoth runs im under both decode paths and fails the test unless
+// output and stats match exactly. It returns the predecoded result.
+func runBoth(t *testing.T, label string, im *rtd.Image, machine rtd.MachineConfig) rtd.RunResult {
+	t.Helper()
+	pre := machine
+	pre.DisablePredecode = false
+	// PredecodeCheck re-decodes every fetched entry from the backing
+	// I-cache word, so the battery also audits cache coherence.
+	pre.PredecodeCheck = true
+	ref := machine
+	ref.DisablePredecode = true
+
+	got, err := rtd.Run(im, pre)
+	if err != nil {
+		t.Fatalf("%s: predecode run: %v", label, err)
+	}
+	want, err := rtd.Run(im, ref)
+	if err != nil {
+		t.Fatalf("%s: reference run: %v", label, err)
+	}
+	if got.Output != want.Output {
+		t.Errorf("%s: output %q (predecode), want %q (reference)", label, got.Output, want.Output)
+	}
+	if got.ExitCode != want.ExitCode {
+		t.Errorf("%s: exit code %d (predecode), want %d (reference)", label, got.ExitCode, want.ExitCode)
+	}
+	if got.Stats != want.Stats {
+		t.Errorf("%s: stats diverged\npredecode: %+v\nreference: %+v", label, got.Stats, want.Stats)
+	}
+	return got
+}
+
+// equivalenceSchemes is every image kind the battery runs: native plus
+// all decompressor configurations, so both the hardware-fill and the
+// swic-written predecode paths are covered.
+var equivalenceSchemes = []rtd.Options{
+	{},
+	{Scheme: rtd.SchemeDict},
+	{Scheme: rtd.SchemeDict, ShadowRF: true},
+	{Scheme: rtd.SchemeCodePack},
+	{Scheme: rtd.SchemeCodePack, ShadowRF: true},
+	{Scheme: rtd.SchemeProcDict, ShadowRF: true},
+}
+
+func schemeLabel(opts rtd.Options) string {
+	if opts.Scheme == "" {
+		return "native"
+	}
+	s := string(opts.Scheme)
+	if opts.ShadowRF {
+		s += "+rf"
+	}
+	return s
+}
+
+// TestPredecodeEquivalenceCorpus runs the whole assembly corpus under
+// every scheme on both decode paths, at the baseline 16KB I-cache and
+// at 1KB, where capacity evictions force lines to be re-decompressed
+// (and re-predecoded) many times.
+func TestPredecodeEquivalenceCorpus(t *testing.T) {
+	paths, err := filepath.Glob("testdata/*.s")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus programs found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".s")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im, err := rtd.Assemble(string(raw))
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			for _, opts := range equivalenceSchemes {
+				run := im
+				if opts.Scheme != "" {
+					res, err := rtd.Compress(im, opts)
+					if err != nil {
+						t.Fatalf("%s: compress: %v", opts.Scheme, err)
+					}
+					run = res.Image
+				}
+				for _, kb := range []int{16, 1} {
+					machine := rtd.DefaultMachine()
+					machine.ICache.SizeBytes = kb * 1024
+					machine.MaxInstr = 100_000_000
+					runBoth(t, fmt.Sprintf("%s@%dKB", schemeLabel(opts), kb), run, machine)
+				}
+			}
+		})
+	}
+}
+
+// TestPredecodeEquivalenceMiniC covers the compiled MiniC corpus on
+// both decode paths (native and the two main decompressors).
+func TestPredecodeEquivalenceMiniC(t *testing.T) {
+	paths, err := filepath.Glob("testdata/minic/*.mc")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no MiniC corpus programs found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".mc")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im, err := rtd.CompileMiniC(string(raw))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			machine := rtd.DefaultMachine()
+			machine.MaxInstr = 50_000_000
+			runBoth(t, "native", im, machine)
+			for _, scheme := range []rtd.Scheme{rtd.SchemeDict, rtd.SchemeCodePack} {
+				res, err := rtd.Compress(im, rtd.Options{Scheme: scheme, ShadowRF: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				runBoth(t, string(scheme), res.Image, machine)
+			}
+		})
+	}
+}
+
+// TestPredecodeEquivalenceBenchmarks runs every synthetic benchmark
+// (scaled down) natively and under both decompressors on both decode
+// paths — the same programs the perfwatch registry measures.
+func TestPredecodeEquivalenceBenchmarks(t *testing.T) {
+	scale := 0.05
+	if testing.Short() {
+		scale = 0.02
+	}
+	for _, p := range rtd.Benchmarks() {
+		t.Run(p.Name, func(t *testing.T) {
+			im, err := rtd.BuildBenchmarkScaled(p.Name, scale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine := rtd.DefaultMachine()
+			machine.MaxInstr = 2_000_000_000
+			runBoth(t, "native", im, machine)
+			for _, opts := range []rtd.Options{
+				{Scheme: rtd.SchemeDict, ShadowRF: true},
+				{Scheme: rtd.SchemeCodePack, ShadowRF: true},
+			} {
+				res, err := rtd.Compress(im, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runBoth(t, schemeLabel(opts), res.Image, machine)
+			}
+		})
+	}
+}

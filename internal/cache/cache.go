@@ -80,7 +80,17 @@ type Cache struct {
 	clock      uint64
 	storesData bool
 	lineShift  uint
+	setShift   uint
 	setMask    uint32
+
+	// MRU hint: the line of the last Access hit, keyed by its
+	// addr>>lineShift (which identifies set and tag uniquely).
+	// Consecutive accesses to one line — the common fetch pattern —
+	// skip the associative lookup; side effects (access count, LRU
+	// clock) are identical. Any operation that moves or invalidates
+	// lines clears the hint.
+	mruIdx  uint32
+	mruLine *line
 
 	Stats Stats
 	// Obs, when set, observes per-set miss/conflict/eviction events.
@@ -102,6 +112,7 @@ func New(cfg Config, storesData bool) (*Cache, error) {
 	for s := cfg.LineBytes; s > 1; s >>= 1 {
 		c.lineShift++
 	}
+	c.setShift = uint(log2(uint32(cfg.Sets())))
 	c.setMask = uint32(cfg.Sets() - 1)
 	return c, nil
 }
@@ -125,7 +136,7 @@ func (c *Cache) LineBase(addr uint32) uint32 {
 
 func (c *Cache) index(addr uint32) (set uint32, tag uint32) {
 	l := addr >> c.lineShift
-	return l & c.setMask, l >> uint(log2(uint32(c.cfg.Sets())))
+	return l & c.setMask, l >> c.setShift
 }
 
 func log2(n uint32) int {
@@ -152,9 +163,15 @@ func (c *Cache) find(addr uint32) *line {
 // It reports whether the line is present.
 func (c *Cache) Access(addr uint32) bool {
 	c.Stats.Accesses++
+	if c.mruLine != nil && addr>>c.lineShift == c.mruIdx {
+		c.clock++
+		c.mruLine.lru = c.clock
+		return true
+	}
 	if ln := c.find(addr); ln != nil {
 		c.clock++
 		ln.lru = c.clock
+		c.mruIdx, c.mruLine = addr>>c.lineShift, ln
 		return true
 	}
 	c.Stats.Misses++
@@ -199,6 +216,7 @@ func (c *Cache) victim(set uint32) *line {
 }
 
 func (c *Cache) allocate(addr uint32) *line {
+	c.mruLine = nil
 	set, tag := c.index(addr)
 	// Re-use the existing line if present so a set never holds two ways
 	// with the same tag.
@@ -285,6 +303,7 @@ func (c *Cache) UpdateWord(addr uint32, w uint32) {
 
 // Invalidate drops addr's line if present.
 func (c *Cache) Invalidate(addr uint32) {
+	c.mruLine = nil
 	if ln := c.find(addr); ln != nil {
 		ln.valid = false
 	}
@@ -292,6 +311,7 @@ func (c *Cache) Invalidate(addr uint32) {
 
 // Flush invalidates every line and leaves statistics untouched.
 func (c *Cache) Flush() {
+	c.mruLine = nil
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			c.sets[s][w].valid = false

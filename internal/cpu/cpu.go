@@ -44,6 +44,19 @@ type Config struct {
 	// MaxInstr bounds total executed instructions (user + handler);
 	// Run returns an error when it is exceeded. 0 means no bound.
 	MaxInstr uint64
+
+	// DisablePredecode forces the reference decode-every-cycle fetch
+	// path: isa fields are re-extracted from the raw word on every
+	// executed instruction instead of once per I-cache fill. Both paths
+	// feed the same execute engine, so the timing model is identical;
+	// the flag exists so equivalence tests can pin the predecode cache
+	// against the reference behaviour.
+	DisablePredecode bool
+	// PredecodeCheck cross-checks every fetched predecoded instruction
+	// against a fresh decode of the word the backing cache/RAM holds
+	// and fails the simulation on any mismatch. diffsim and the
+	// equivalence battery use it as a predecode-coherence oracle.
+	PredecodeCheck bool
 }
 
 // DefaultConfig returns the paper's baseline machine.
@@ -142,6 +155,17 @@ type CPU struct {
 	lastLoad int    // register written by the previous instruction if it was a load (-1 otherwise)
 	excStart uint64 // Stats.Cycles at the last exception entry
 
+	// Predecoded-instruction cache (see predecode.go). pdec maps an
+	// I-cache line base to its decoded records; curBase/curLine cache
+	// the line the PC is streaming through; hdec covers handler RAM;
+	// scratch backs the DisablePredecode reference path.
+	pdec     map[uint32][]pinstr
+	curBase  uint32
+	curLine  []pinstr
+	swicBase uint32
+	hdec     []pinstr
+	scratch  pinstr
+
 	Stats Stats
 	Prof  Profiler
 	Out   io.Writer
@@ -166,14 +190,16 @@ func New(cfg Config) (*CPU, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cpu: D-cache: %v", err)
 	}
-	return &CPU{
+	c := &CPU{
 		Cfg:      cfg,
 		Mem:      mem.New(cfg.Bus),
 		IC:       ic,
 		DC:       dc,
 		BP:       bpred.New(cfg.PredictorEntries),
 		lastLoad: -1,
-	}, nil
+	}
+	c.resetPredecode()
+	return c, nil
 }
 
 // Load installs a program image: loads every non-virtual segment into
@@ -204,6 +230,10 @@ func (c *CPU) Load(im *program.Image) error {
 		if ci.ShadowRF {
 			c.c0[6] |= 2 // StatusShadowRF
 		}
+	}
+	c.resetPredecode()
+	if !c.Cfg.DisablePredecode {
+		c.predecodeHandler()
 	}
 	return nil
 }

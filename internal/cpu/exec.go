@@ -10,50 +10,59 @@ import (
 // Step fetches, executes and retires one instruction, charging cycles to
 // the timing model.
 func (c *CPU) Step() error {
-	w, err := c.fetch()
-	if err != nil {
+	p, err := c.fetch()
+	if err != nil || p == nil {
+		// p == nil: a decompression exception redirected the PC into the
+		// handler instead of delivering an instruction.
 		return err
 	}
-	if w == fetchException {
-		return nil // the exception redirected the PC into the handler
-	}
-	return c.execute(w)
+	return c.execute(p)
 }
 
-// fetchException is returned by fetch when a decompression exception was
-// raised instead of delivering an instruction. It is an invalid encoding
-// (primary opcode 0x3F) so it can never collide with a real instruction.
-const fetchException = 0xFFFFFFFF
-
-func (c *CPU) fetch() (uint32, error) {
+// fetch returns the predecoded instruction at the current PC, or nil
+// when a decompression exception was raised instead. With
+// Cfg.DisablePredecode the word is decoded afresh into a scratch record
+// every cycle — same engine, reference timing.
+func (c *CPU) fetch() (*pinstr, error) {
 	pc := c.pc
 	if pc&3 != 0 {
-		return 0, fmt.Errorf("cpu: unaligned fetch at %#x", pc)
+		return nil, fmt.Errorf("cpu: unaligned fetch at %#x", pc)
 	}
 	// The decompressor executes from its own on-chip RAM, accessed in
 	// parallel with the I-cache (paper §4.1): no cache involvement.
 	if c.inHandlerRAM(pc) {
-		return c.Mem.ReadWord(pc), nil
+		if c.Cfg.DisablePredecode || c.hdec == nil {
+			c.scratch = decodeInstr(pc, c.Mem.ReadWord(pc))
+			return &c.scratch, nil
+		}
+		p := &c.hdec[(pc-c.handlerPC)>>2]
+		if c.Cfg.PredecodeCheck {
+			if err := c.checkPredecode(p, pc, c.Mem.ReadWord(pc)); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
 	}
 	if !c.IC.Access(pc) {
 		if c.InCompressedRegion(pc) {
 			if c.Cfg.HardwareDecompress {
 				if err := c.hardwareFill(pc); err != nil {
-					return 0, err
+					return nil, err
 				}
 			} else {
-				return fetchException, c.raiseDecompress(pc)
+				return nil, c.raiseDecompress(pc)
 			}
 		} else {
 			// Hardware fill from backed memory.
 			base := c.IC.LineBase(pc)
 			if !c.Mem.Backed(base) {
-				return 0, fmt.Errorf("cpu: fetch from unmapped address %#x", pc)
+				return nil, fmt.Errorf("cpu: fetch from unmapped address %#x", pc)
 			}
 			line := make([]byte, c.Cfg.ICache.LineBytes)
 			start := c.Stats.Cycles
 			stall := c.Mem.ReadBlock(base, line)
 			c.IC.Fill(base, line)
+			c.predecodeFill(base, line)
 			c.Stats.Cycles += uint64(stall)
 			c.Stats.FetchStalls += uint64(stall)
 			c.Stats.CPIStack[CycleFetchStall] += uint64(stall)
@@ -66,11 +75,33 @@ func (c *CPU) fetch() (uint32, error) {
 			}
 		}
 	}
-	w, ok := c.IC.ReadWord(pc)
-	if !ok {
-		return 0, fmt.Errorf("cpu: internal error: line at %#x vanished", pc)
+	if c.Cfg.DisablePredecode {
+		w, ok := c.IC.ReadWord(pc)
+		if !ok {
+			return nil, fmt.Errorf("cpu: internal error: line at %#x vanished", pc)
+		}
+		c.scratch = decodeInstr(pc, w)
+		return &c.scratch, nil
 	}
-	return w, nil
+	base := c.IC.LineBase(pc)
+	if base != c.curBase {
+		ln := c.plineFor(base)
+		if ln == nil {
+			return nil, fmt.Errorf("cpu: internal error: line at %#x vanished", pc)
+		}
+		c.curBase, c.curLine = base, ln
+	}
+	p := &c.curLine[(pc-base)>>2]
+	if c.Cfg.PredecodeCheck {
+		w, ok := c.IC.ReadWord(pc)
+		if !ok {
+			return nil, fmt.Errorf("cpu: internal error: line at %#x vanished", pc)
+		}
+		if err := c.checkPredecode(p, pc, w); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
 }
 
 // hardwareFill models a hardware decompression unit: the compressed
@@ -93,6 +124,7 @@ func (c *CPU) hardwareFill(pc uint32) error {
 	start := c.Stats.Cycles
 	stall := c.Mem.Burst(n/2) + c.Cfg.HWDecompressCycles
 	c.IC.Fill(base, line)
+	c.predecodeFill(base, line)
 	c.Stats.Cycles += uint64(stall)
 	c.Stats.FetchStalls += uint64(stall)
 	c.Stats.CPIStack[CycleExcService] += uint64(stall)
@@ -142,7 +174,10 @@ func (c *CPU) raiseDecompress(pc uint32) error {
 	return nil
 }
 
-func (c *CPU) execute(w uint32) error {
+// execute is the single execution engine: both the predecoded fast
+// path and the DisablePredecode reference path feed it, so their
+// timing cannot diverge.
+func (c *CPU) execute(p *pinstr) error {
 	r := &c.regs[c.bank]
 	pc := c.pc
 	next := pc + 4
@@ -153,215 +188,214 @@ func (c *CPU) execute(w uint32) error {
 	// instruction consumes the value the immediately preceding load
 	// produced (MEM -> EX forwarding gap).
 	if c.lastLoad >= 0 {
-		if a, b := isa.SrcRegs(w); a == c.lastLoad || b == c.lastLoad {
+		if int(p.srcA) == c.lastLoad || int(p.srcB) == c.lastLoad {
 			cycles += uint64(c.Cfg.LoadUsePenalty)
 			c.Stats.LoadUseStalls++
 			c.Stats.CPIStack[CycleLoadUse] += uint64(c.Cfg.LoadUsePenalty)
 		}
 	}
-	c.lastLoad = isa.LoadDest(w)
+	c.lastLoad = int(p.ldst)
 
-	switch isa.Op(w) {
-	case isa.OpSpecial:
-		rs, rt, rd := isa.Rs(w), isa.Rt(w), isa.Rd(w)
-		switch isa.Funct(w) {
-		case isa.FnSLL:
-			c.setr(r, rd, r[rt]<<isa.Shamt(w))
-		case isa.FnSRL:
-			c.setr(r, rd, r[rt]>>isa.Shamt(w))
-		case isa.FnSRA:
-			c.setr(r, rd, uint32(int32(r[rt])>>isa.Shamt(w)))
-		case isa.FnSLLV:
-			c.setr(r, rd, r[rt]<<(r[rs]&31))
-		case isa.FnSRLV:
-			c.setr(r, rd, r[rt]>>(r[rs]&31))
-		case isa.FnSRAV:
-			c.setr(r, rd, uint32(int32(r[rt])>>(r[rs]&31)))
-		case isa.FnJR:
-			next = r[rs]
-			cycles += uint64(c.Cfg.JRPenalty)
-			c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.JRPenalty)
-		case isa.FnJALR:
-			c.setr(r, rd, pc+4)
-			next = r[rs]
-			cycles += uint64(c.Cfg.JRPenalty)
-			c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.JRPenalty)
-			c.countCall(pc, next)
-		case isa.FnSYSCALL:
-			if err := c.syscall(r); err != nil {
-				return err
-			}
-		case isa.FnBREAK:
-			return fmt.Errorf("cpu: break at %#x", pc)
-		case isa.FnMFHI:
-			c.setr(r, rd, c.hi)
-		case isa.FnMFLO:
-			c.setr(r, rd, c.lo)
-		case isa.FnMULT:
-			p := int64(int32(r[rs])) * int64(int32(r[rt]))
-			c.lo, c.hi = uint32(p), uint32(p>>32)
-		case isa.FnMULTU:
-			p := uint64(r[rs]) * uint64(r[rt])
-			c.lo, c.hi = uint32(p), uint32(p>>32)
-		case isa.FnDIV:
-			if r[rt] != 0 {
-				c.lo = uint32(int32(r[rs]) / int32(r[rt]))
-				c.hi = uint32(int32(r[rs]) % int32(r[rt]))
-			}
-		case isa.FnDIVU:
-			if r[rt] != 0 {
-				c.lo = r[rs] / r[rt]
-				c.hi = r[rs] % r[rt]
-			}
-		case isa.FnADD, isa.FnADDU:
-			c.setr(r, rd, r[rs]+r[rt])
-		case isa.FnSUB, isa.FnSUBU:
-			c.setr(r, rd, r[rs]-r[rt])
-		case isa.FnAND:
-			c.setr(r, rd, r[rs]&r[rt])
-		case isa.FnOR:
-			c.setr(r, rd, r[rs]|r[rt])
-		case isa.FnXOR:
-			c.setr(r, rd, r[rs]^r[rt])
-		case isa.FnNOR:
-			c.setr(r, rd, ^(r[rs] | r[rt]))
-		case isa.FnSLT:
-			c.setr(r, rd, b2u(int32(r[rs]) < int32(r[rt])))
-		case isa.FnSLTU:
-			c.setr(r, rd, b2u(r[rs] < r[rt]))
-		default:
-			return fmt.Errorf("cpu: illegal funct %#x at %#x", isa.Funct(w), pc)
+	switch p.op {
+	case pSLL:
+		c.setr(r, int(p.rd), r[p.rt]<<p.shamt)
+	case pSRL:
+		c.setr(r, int(p.rd), r[p.rt]>>p.shamt)
+	case pSRA:
+		c.setr(r, int(p.rd), uint32(int32(r[p.rt])>>p.shamt))
+	case pSLLV:
+		c.setr(r, int(p.rd), r[p.rt]<<(r[p.rs]&31))
+	case pSRLV:
+		c.setr(r, int(p.rd), r[p.rt]>>(r[p.rs]&31))
+	case pSRAV:
+		c.setr(r, int(p.rd), uint32(int32(r[p.rt])>>(r[p.rs]&31)))
+	case pJR:
+		next = r[p.rs]
+		cycles += uint64(c.Cfg.JRPenalty)
+		c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.JRPenalty)
+	case pJALR:
+		c.setr(r, int(p.rd), pc+4)
+		next = r[p.rs]
+		cycles += uint64(c.Cfg.JRPenalty)
+		c.Stats.CPIStack[CycleBranch] += uint64(c.Cfg.JRPenalty)
+		c.countCall(pc, next)
+	case pSyscall:
+		if err := c.syscall(r); err != nil {
+			return err
 		}
+	case pBreak:
+		return fmt.Errorf("cpu: break at %#x", pc)
+	case pMFHI:
+		c.setr(r, int(p.rd), c.hi)
+	case pMFLO:
+		c.setr(r, int(p.rd), c.lo)
+	case pMULT:
+		prod := int64(int32(r[p.rs])) * int64(int32(r[p.rt]))
+		c.lo, c.hi = uint32(prod), uint32(prod>>32)
+	case pMULTU:
+		prod := uint64(r[p.rs]) * uint64(r[p.rt])
+		c.lo, c.hi = uint32(prod), uint32(prod>>32)
+	case pDIV:
+		if r[p.rt] != 0 {
+			c.lo = uint32(int32(r[p.rs]) / int32(r[p.rt]))
+			c.hi = uint32(int32(r[p.rs]) % int32(r[p.rt]))
+		}
+	case pDIVU:
+		if r[p.rt] != 0 {
+			c.lo = r[p.rs] / r[p.rt]
+			c.hi = r[p.rs] % r[p.rt]
+		}
+	case pADD:
+		c.setr(r, int(p.rd), r[p.rs]+r[p.rt])
+	case pSUB:
+		c.setr(r, int(p.rd), r[p.rs]-r[p.rt])
+	case pAND:
+		c.setr(r, int(p.rd), r[p.rs]&r[p.rt])
+	case pOR:
+		c.setr(r, int(p.rd), r[p.rs]|r[p.rt])
+	case pXOR:
+		c.setr(r, int(p.rd), r[p.rs]^r[p.rt])
+	case pNOR:
+		c.setr(r, int(p.rd), ^(r[p.rs] | r[p.rt]))
+	case pSLT:
+		c.setr(r, int(p.rd), b2u(int32(r[p.rs]) < int32(r[p.rt])))
+	case pSLTU:
+		c.setr(r, int(p.rd), b2u(r[p.rs] < r[p.rt]))
 
-	case isa.OpRegImm:
-		rs := isa.Rs(w)
-		var taken bool
-		switch isa.Rt(w) {
-		case isa.RtBLTZ:
-			taken = int32(r[rs]) < 0
-		case isa.RtBGEZ:
-			taken = int32(r[rs]) >= 0
-		default:
-			return fmt.Errorf("cpu: illegal regimm %#x at %#x", isa.Rt(w), pc)
-		}
+	case pBLTZ:
+		taken := int32(r[p.rs]) < 0
 		cycles += c.branch(pc, taken)
 		if taken {
-			next = isa.BranchTarget(pc, w)
+			next = p.tgt
+		}
+	case pBGEZ:
+		taken := int32(r[p.rs]) >= 0
+		cycles += c.branch(pc, taken)
+		if taken {
+			next = p.tgt
 		}
 
-	case isa.OpJ:
-		next = isa.JumpTarget(pc, w)
-	case isa.OpJAL:
+	case pJ:
+		next = p.tgt
+	case pJAL:
 		c.setr(r, 31, pc+4)
-		next = isa.JumpTarget(pc, w)
+		next = p.tgt
 		c.countCall(pc, next)
 
-	case isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ:
-		rs, rt := isa.Rs(w), isa.Rt(w)
-		var taken bool
-		switch isa.Op(w) {
-		case isa.OpBEQ:
-			taken = r[rs] == r[rt]
-		case isa.OpBNE:
-			taken = r[rs] != r[rt]
-		case isa.OpBLEZ:
-			taken = int32(r[rs]) <= 0
-		case isa.OpBGTZ:
-			taken = int32(r[rs]) > 0
-		}
+	case pBEQ:
+		taken := r[p.rs] == r[p.rt]
 		cycles += c.branch(pc, taken)
 		if taken {
-			next = isa.BranchTarget(pc, w)
+			next = p.tgt
+		}
+	case pBNE:
+		taken := r[p.rs] != r[p.rt]
+		cycles += c.branch(pc, taken)
+		if taken {
+			next = p.tgt
+		}
+	case pBLEZ:
+		taken := int32(r[p.rs]) <= 0
+		cycles += c.branch(pc, taken)
+		if taken {
+			next = p.tgt
+		}
+	case pBGTZ:
+		taken := int32(r[p.rs]) > 0
+		cycles += c.branch(pc, taken)
+		if taken {
+			next = p.tgt
 		}
 
-	case isa.OpADDI, isa.OpADDIU:
-		c.setr(r, isa.Rt(w), r[isa.Rs(w)]+uint32(isa.SImm(w)))
-	case isa.OpSLTI:
-		c.setr(r, isa.Rt(w), b2u(int32(r[isa.Rs(w)]) < isa.SImm(w)))
-	case isa.OpSLTIU:
-		c.setr(r, isa.Rt(w), b2u(r[isa.Rs(w)] < uint32(isa.SImm(w))))
-	case isa.OpANDI:
-		c.setr(r, isa.Rt(w), r[isa.Rs(w)]&isa.Imm(w))
-	case isa.OpORI:
-		c.setr(r, isa.Rt(w), r[isa.Rs(w)]|isa.Imm(w))
-	case isa.OpXORI:
-		c.setr(r, isa.Rt(w), r[isa.Rs(w)]^isa.Imm(w))
-	case isa.OpLUI:
-		c.setr(r, isa.Rt(w), isa.Imm(w)<<16)
+	case pADDI:
+		c.setr(r, int(p.rt), r[p.rs]+p.imm)
+	case pSLTI:
+		c.setr(r, int(p.rt), b2u(int32(r[p.rs]) < int32(p.imm)))
+	case pSLTIU:
+		c.setr(r, int(p.rt), b2u(r[p.rs] < p.imm))
+	case pANDI:
+		c.setr(r, int(p.rt), r[p.rs]&p.imm)
+	case pORI:
+		c.setr(r, int(p.rt), r[p.rs]|p.imm)
+	case pXORI:
+		c.setr(r, int(p.rt), r[p.rs]^p.imm)
+	case pLUI:
+		c.setr(r, int(p.rt), p.imm)
 
-	case isa.OpCOP0:
-		switch isa.Rs(w) {
-		case isa.CopMFC0:
-			c.setr(r, isa.Rt(w), c.c0[isa.Rd(w)&7])
-		case isa.CopMTC0:
-			c.c0[isa.Rd(w)&7] = r[isa.Rt(w)]
-		case isa.CopCO:
-			if isa.Funct(w) != isa.FnIRET {
-				return fmt.Errorf("cpu: illegal cop0 funct %#x at %#x", isa.Funct(w), pc)
-			}
-			if !c.inHandler {
-				return fmt.Errorf("cpu: iret outside handler at %#x", pc)
-			}
-			c.inHandler = false
-			c.bank = c.savedBank
-			c.c0[6] &^= 1
-			c.lastLoad = -1 // redirect drains the pipeline
-			next = c.c0[4]  // EPC
-			cycles += uint64(c.Cfg.IretCycles)
-			c.Stats.CPIStack[CycleExcService] += uint64(c.Cfg.IretCycles)
-		default:
-			return fmt.Errorf("cpu: illegal cop0 rs %#x at %#x", isa.Rs(w), pc)
+	case pMFC0:
+		c.setr(r, int(p.rt), c.c0[p.rd])
+	case pMTC0:
+		c.c0[p.rd] = r[p.rt]
+	case pIRET:
+		if !c.inHandler {
+			return fmt.Errorf("cpu: iret outside handler at %#x", pc)
 		}
+		c.inHandler = false
+		c.bank = c.savedBank
+		c.c0[6] &^= 1
+		c.lastLoad = -1 // redirect drains the pipeline
+		next = c.c0[4]  // EPC
+		cycles += uint64(c.Cfg.IretCycles)
+		c.Stats.CPIStack[CycleExcService] += uint64(c.Cfg.IretCycles)
 
-	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
-		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+	case pLB:
+		addr := r[p.rs] + p.imm
 		cycles += c.dRead(addr)
-		var v uint32
-		switch isa.Op(w) {
-		case isa.OpLB:
-			v = uint32(int32(int8(c.Mem.LoadByte(addr))))
-		case isa.OpLBU:
-			v = uint32(c.Mem.LoadByte(addr))
-		case isa.OpLH:
-			if addr&1 != 0 {
-				return fmt.Errorf("cpu: unaligned lh at %#x (addr %#x)", pc, addr)
-			}
-			v = uint32(int32(int16(c.Mem.ReadHalf(addr))))
-		case isa.OpLHU:
-			if addr&1 != 0 {
-				return fmt.Errorf("cpu: unaligned lhu at %#x (addr %#x)", pc, addr)
-			}
-			v = uint32(c.Mem.ReadHalf(addr))
-		case isa.OpLW:
-			if addr&3 != 0 {
-				return fmt.Errorf("cpu: unaligned lw at %#x (addr %#x)", pc, addr)
-			}
-			v = c.Mem.ReadWord(addr)
+		c.setr(r, int(p.rt), uint32(int32(int8(c.Mem.LoadByte(addr)))))
+	case pLBU:
+		addr := r[p.rs] + p.imm
+		cycles += c.dRead(addr)
+		c.setr(r, int(p.rt), uint32(c.Mem.LoadByte(addr)))
+	case pLH:
+		addr := r[p.rs] + p.imm
+		cycles += c.dRead(addr)
+		if addr&1 != 0 {
+			return fmt.Errorf("cpu: unaligned lh at %#x (addr %#x)", pc, addr)
 		}
-		c.setr(r, isa.Rt(w), v)
+		c.setr(r, int(p.rt), uint32(int32(int16(c.Mem.ReadHalf(addr)))))
+	case pLHU:
+		addr := r[p.rs] + p.imm
+		cycles += c.dRead(addr)
+		if addr&1 != 0 {
+			return fmt.Errorf("cpu: unaligned lhu at %#x (addr %#x)", pc, addr)
+		}
+		c.setr(r, int(p.rt), uint32(c.Mem.ReadHalf(addr)))
+	case pLW:
+		addr := r[p.rs] + p.imm
+		cycles += c.dRead(addr)
+		if addr&3 != 0 {
+			return fmt.Errorf("cpu: unaligned lw at %#x (addr %#x)", pc, addr)
+		}
+		c.setr(r, int(p.rt), c.Mem.ReadWord(addr))
 
-	case isa.OpSB:
-		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
-		c.Mem.StoreByte(addr, byte(r[isa.Rt(w)]))
-	case isa.OpSH:
-		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+	case pSB:
+		addr := r[p.rs] + p.imm
+		c.Mem.StoreByte(addr, byte(r[p.rt]))
+		c.noteHandlerStore(addr)
+	case pSH:
+		addr := r[p.rs] + p.imm
 		if addr&1 != 0 {
 			return fmt.Errorf("cpu: unaligned sh at %#x (addr %#x)", pc, addr)
 		}
-		c.Mem.WriteHalf(addr, uint16(r[isa.Rt(w)]))
-	case isa.OpSW:
-		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+		c.Mem.WriteHalf(addr, uint16(r[p.rt]))
+		c.noteHandlerStore(addr)
+	case pSW:
+		addr := r[p.rs] + p.imm
 		if addr&3 != 0 {
 			return fmt.Errorf("cpu: unaligned sw at %#x (addr %#x)", pc, addr)
 		}
-		c.Mem.WriteWord(addr, r[isa.Rt(w)])
+		c.Mem.WriteWord(addr, r[p.rt])
+		c.noteHandlerStore(addr)
 
-	case isa.OpSWIC:
-		addr := r[isa.Rs(w)] + uint32(isa.SImm(w))
+	case pSWIC:
+		addr := r[p.rs] + p.imm
 		if addr&3 != 0 {
 			return fmt.Errorf("cpu: unaligned swic at %#x (addr %#x)", pc, addr)
 		}
-		c.IC.WriteWord(addr, r[isa.Rt(w)])
+		c.IC.WriteWord(addr, r[p.rt])
+		if !c.Cfg.DisablePredecode {
+			c.predecodeSwic(addr)
+		}
 		cycles += uint64(c.Cfg.SwicExtraCycles)
 		if wasHandler {
 			c.Stats.CPIStack[CycleHandler] += uint64(c.Cfg.SwicExtraCycles)
@@ -370,7 +404,7 @@ func (c *CPU) execute(w uint32) error {
 		}
 
 	default:
-		return fmt.Errorf("cpu: illegal opcode %#x at %#x", isa.Op(w), pc)
+		return illegalInstrError(p.raw, pc)
 	}
 
 	c.Stats.Cycles += cycles
@@ -391,7 +425,7 @@ func (c *CPU) execute(w uint32) error {
 		}
 	}
 	if c.Trace != nil {
-		c.Trace(pc, w, wasHandler)
+		c.Trace(pc, p.raw, wasHandler)
 	}
 	if wasHandler {
 		c.Stats.HandlerInstrs++
@@ -403,6 +437,24 @@ func (c *CPU) execute(w uint32) error {
 	}
 	c.pc = next
 	return nil
+}
+
+// illegalInstrError reconstructs the decode error for an unrecognised
+// encoding from its raw word, preserving the exact legacy messages.
+func illegalInstrError(w, pc uint32) error {
+	switch isa.Op(w) {
+	case isa.OpSpecial:
+		return fmt.Errorf("cpu: illegal funct %#x at %#x", isa.Funct(w), pc)
+	case isa.OpRegImm:
+		return fmt.Errorf("cpu: illegal regimm %#x at %#x", isa.Rt(w), pc)
+	case isa.OpCOP0:
+		if isa.Rs(w) == isa.CopCO {
+			return fmt.Errorf("cpu: illegal cop0 funct %#x at %#x", isa.Funct(w), pc)
+		}
+		return fmt.Errorf("cpu: illegal cop0 rs %#x at %#x", isa.Rs(w), pc)
+	default:
+		return fmt.Errorf("cpu: illegal opcode %#x at %#x", isa.Op(w), pc)
+	}
 }
 
 func (c *CPU) countCall(from, to uint32) {

@@ -1,0 +1,364 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// The predecoded-instruction cache.
+//
+// The paper's premise is that decompression cost is paid once per
+// I-cache fill while steady-state execution runs at native speed; the
+// simulator mirrors that structure on the host axis. Every line is
+// decoded into pinstr records exactly once — when it enters the
+// I-cache (hardware fill, hardware decompression, or a handler swic) —
+// and the per-cycle hot loop dispatches on a dense opcode instead of
+// re-extracting isa fields from the raw word.
+//
+// Coherence rule: predecoded content may only be consulted for
+// addresses the I-cache currently holds, and every operation that
+// changes I-cache line content invalidates or re-predecodes it. There
+// are exactly two such operations in the simulator: Cache.Fill
+// re-predecodes eagerly (predecodeFill — the data is in hand), and
+// Cache.WriteWord (swic) invalidates the written line, which is then
+// decoded lazily on its next fetch (predecodeSwic / plineFor) so a
+// line the decompressor writes word-by-word is decoded once, not once
+// per word. Handler RAM is not cached, so it is predecoded once at
+// Load and patched on stores into [handlerPC, handlerEnd)
+// (noteHandlerStore). Entries for evicted lines may go stale in the
+// map, but they are unreachable: a fetch of that base misses, and the
+// refill re-predecodes.
+//
+// Config.PredecodeCheck turns every fetch into a coherence oracle
+// (cached record vs a fresh decode of the backing word);
+// Config.DisablePredecode forces the reference decode-every-cycle
+// path. Both run the same execute engine, so the timing model cannot
+// drift between them.
+
+// pop is the dense dispatch opcode of a predecoded instruction.
+type pop uint8
+
+const (
+	pIllegal pop = iota
+	pSLL
+	pSRL
+	pSRA
+	pSLLV
+	pSRLV
+	pSRAV
+	pJR
+	pJALR
+	pSyscall
+	pBreak
+	pMFHI
+	pMFLO
+	pMULT
+	pMULTU
+	pDIV
+	pDIVU
+	pADD
+	pSUB
+	pAND
+	pOR
+	pXOR
+	pNOR
+	pSLT
+	pSLTU
+	pBLTZ
+	pBGEZ
+	pJ
+	pJAL
+	pBEQ
+	pBNE
+	pBLEZ
+	pBGTZ
+	pADDI
+	pSLTI
+	pSLTIU
+	pANDI
+	pORI
+	pXORI
+	pLUI
+	pMFC0
+	pMTC0
+	pIRET
+	pLB
+	pLBU
+	pLH
+	pLHU
+	pLW
+	pSB
+	pSH
+	pSW
+	pSWIC
+)
+
+// pinstr is one predecoded instruction. It is a plain comparable value
+// (PredecodeCheck relies on ==) holding everything the execute engine
+// needs without touching the raw encoding: operand register numbers,
+// the load-use hazard sources, the op-specific immediate and the
+// absolute control-flow target (both computable at decode time because
+// a record is bound to its address).
+type pinstr struct {
+	op    pop
+	rs    uint8
+	rt    uint8
+	rd    uint8 // pre-masked to 0..7 for mfc0/mtc0
+	shamt uint8
+	srcA  int8 // isa.SrcRegs, for the load-use interlock
+	srcB  int8
+	ldst  int8   // isa.LoadDest
+	imm   uint32 // op-specific: sign- or zero-extended, or lui value
+	tgt   uint32 // absolute branch/jump target
+	raw   uint32 // original encoding (tracing, errors, coherence check)
+}
+
+// decodeInstr decodes the word at pc into a predecoded record. It is
+// total: unrecognised encodings yield pIllegal and the execute engine
+// reconstructs the legacy error text from raw.
+func decodeInstr(pc, w uint32) pinstr {
+	a, b := isa.SrcRegs(w)
+	p := pinstr{
+		rs:    uint8(isa.Rs(w)),
+		rt:    uint8(isa.Rt(w)),
+		rd:    uint8(isa.Rd(w)),
+		shamt: uint8(isa.Shamt(w)),
+		srcA:  int8(a),
+		srcB:  int8(b),
+		ldst:  int8(isa.LoadDest(w)),
+		raw:   w,
+	}
+	switch isa.Op(w) {
+	case isa.OpSpecial:
+		switch isa.Funct(w) {
+		case isa.FnSLL:
+			p.op = pSLL
+		case isa.FnSRL:
+			p.op = pSRL
+		case isa.FnSRA:
+			p.op = pSRA
+		case isa.FnSLLV:
+			p.op = pSLLV
+		case isa.FnSRLV:
+			p.op = pSRLV
+		case isa.FnSRAV:
+			p.op = pSRAV
+		case isa.FnJR:
+			p.op = pJR
+		case isa.FnJALR:
+			p.op = pJALR
+		case isa.FnSYSCALL:
+			p.op = pSyscall
+		case isa.FnBREAK:
+			p.op = pBreak
+		case isa.FnMFHI:
+			p.op = pMFHI
+		case isa.FnMFLO:
+			p.op = pMFLO
+		case isa.FnMULT:
+			p.op = pMULT
+		case isa.FnMULTU:
+			p.op = pMULTU
+		case isa.FnDIV:
+			p.op = pDIV
+		case isa.FnDIVU:
+			p.op = pDIVU
+		case isa.FnADD, isa.FnADDU:
+			p.op = pADD
+		case isa.FnSUB, isa.FnSUBU:
+			p.op = pSUB
+		case isa.FnAND:
+			p.op = pAND
+		case isa.FnOR:
+			p.op = pOR
+		case isa.FnXOR:
+			p.op = pXOR
+		case isa.FnNOR:
+			p.op = pNOR
+		case isa.FnSLT:
+			p.op = pSLT
+		case isa.FnSLTU:
+			p.op = pSLTU
+		}
+	case isa.OpRegImm:
+		switch isa.Rt(w) {
+		case isa.RtBLTZ:
+			p.op = pBLTZ
+		case isa.RtBGEZ:
+			p.op = pBGEZ
+		}
+		p.tgt = isa.BranchTarget(pc, w)
+	case isa.OpJ:
+		p.op, p.tgt = pJ, isa.JumpTarget(pc, w)
+	case isa.OpJAL:
+		p.op, p.tgt = pJAL, isa.JumpTarget(pc, w)
+	case isa.OpBEQ:
+		p.op, p.tgt = pBEQ, isa.BranchTarget(pc, w)
+	case isa.OpBNE:
+		p.op, p.tgt = pBNE, isa.BranchTarget(pc, w)
+	case isa.OpBLEZ:
+		p.op, p.tgt = pBLEZ, isa.BranchTarget(pc, w)
+	case isa.OpBGTZ:
+		p.op, p.tgt = pBGTZ, isa.BranchTarget(pc, w)
+	case isa.OpADDI, isa.OpADDIU:
+		p.op, p.imm = pADDI, uint32(isa.SImm(w))
+	case isa.OpSLTI:
+		p.op, p.imm = pSLTI, uint32(isa.SImm(w))
+	case isa.OpSLTIU:
+		p.op, p.imm = pSLTIU, uint32(isa.SImm(w))
+	case isa.OpANDI:
+		p.op, p.imm = pANDI, isa.Imm(w)
+	case isa.OpORI:
+		p.op, p.imm = pORI, isa.Imm(w)
+	case isa.OpXORI:
+		p.op, p.imm = pXORI, isa.Imm(w)
+	case isa.OpLUI:
+		p.op, p.imm = pLUI, isa.Imm(w)<<16
+	case isa.OpCOP0:
+		switch isa.Rs(w) {
+		case isa.CopMFC0:
+			p.op, p.rd = pMFC0, uint8(isa.Rd(w)&7)
+		case isa.CopMTC0:
+			p.op, p.rd = pMTC0, uint8(isa.Rd(w)&7)
+		case isa.CopCO:
+			if isa.Funct(w) == isa.FnIRET {
+				p.op = pIRET
+			}
+		}
+	case isa.OpLB:
+		p.op, p.imm = pLB, uint32(isa.SImm(w))
+	case isa.OpLBU:
+		p.op, p.imm = pLBU, uint32(isa.SImm(w))
+	case isa.OpLH:
+		p.op, p.imm = pLH, uint32(isa.SImm(w))
+	case isa.OpLHU:
+		p.op, p.imm = pLHU, uint32(isa.SImm(w))
+	case isa.OpLW:
+		p.op, p.imm = pLW, uint32(isa.SImm(w))
+	case isa.OpSB:
+		p.op, p.imm = pSB, uint32(isa.SImm(w))
+	case isa.OpSH:
+		p.op, p.imm = pSH, uint32(isa.SImm(w))
+	case isa.OpSW:
+		p.op, p.imm = pSW, uint32(isa.SImm(w))
+	case isa.OpSWIC:
+		p.op, p.imm = pSWIC, uint32(isa.SImm(w))
+	}
+	return p
+}
+
+// decodeLine predecodes one full I-cache line.
+func decodeLine(base uint32, data []byte) []pinstr {
+	ins := make([]pinstr, len(data)/4)
+	for i := range ins {
+		a := base + uint32(i*4)
+		ins[i] = decodeInstr(a, binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return ins
+}
+
+// curBaseInvalid is an unaligned sentinel for "no current line".
+const curBaseInvalid uint32 = 1
+
+// resetPredecode clears all predecoded state (called from Load).
+func (c *CPU) resetPredecode() {
+	c.pdec = make(map[uint32][]pinstr)
+	c.curBase = curBaseInvalid
+	c.curLine = nil
+	c.swicBase = curBaseInvalid
+	c.hdec = nil
+}
+
+// predecodeHandler decodes the decompression handler's RAM once; the
+// handler executes from uncached RAM, so this is the only decode it
+// ever needs unless a store patches it (noteHandlerStore).
+func (c *CPU) predecodeHandler() {
+	if c.handlerPC == 0 || c.handlerEnd <= c.handlerPC || c.handlerPC&3 != 0 {
+		return
+	}
+	n := int((c.handlerEnd - c.handlerPC + 3) / 4)
+	c.hdec = make([]pinstr, n)
+	for i := 0; i < n; i++ {
+		a := c.handlerPC + uint32(i*4)
+		c.hdec[i] = decodeInstr(a, c.Mem.ReadWord(a))
+	}
+}
+
+// predecodeFill re-decodes a line just installed by Cache.Fill.
+func (c *CPU) predecodeFill(base uint32, data []byte) {
+	if c.Cfg.DisablePredecode {
+		return
+	}
+	ln := decodeLine(base, data)
+	c.pdec[base] = ln
+	if c.curBase == base {
+		c.curLine = ln
+	}
+	if c.swicBase == base {
+		// The line is coherent again; a future swic must not be skipped.
+		c.swicBase = curBaseInvalid
+	}
+}
+
+// predecodeSwic keeps the predecoded image coherent with a swic write:
+// the written line's records are invalidated and rebuilt lazily on its
+// next fetch (plineFor), so a line the decompressor writes word-by-word
+// is decoded once, not once per word. swicBase caches the line being
+// written: all but the first word of a line return after one compare.
+// plineFor clears it before rebuilding, so a later swic to the same
+// (now re-decoded) line invalidates again instead of being skipped.
+func (c *CPU) predecodeSwic(addr uint32) {
+	base := c.IC.LineBase(addr)
+	if base == c.swicBase {
+		return
+	}
+	delete(c.pdec, base)
+	c.swicBase = base
+	if c.curBase == base {
+		c.curBase, c.curLine = curBaseInvalid, nil
+	}
+}
+
+// plineFor returns the predecoded line at base, building it from the
+// cache contents when absent — swic-written lines (decoded lazily here,
+// once per fill) and lines installed behind the simulator's back (tests
+// poking the I-cache directly).
+func (c *CPU) plineFor(base uint32) []pinstr {
+	if ln := c.pdec[base]; ln != nil {
+		return ln
+	}
+	data := c.IC.LineData(base)
+	if data == nil {
+		return nil
+	}
+	ln := decodeLine(base, data)
+	c.pdec[base] = ln
+	if c.swicBase == base {
+		c.swicBase = curBaseInvalid
+	}
+	return ln
+}
+
+// noteHandlerStore re-predecodes the handler-RAM word a store just
+// modified. Cheap range check on the hot store path; sb/sh/sw cannot
+// cross a word boundary (sh/sw alignment is enforced before this).
+func (c *CPU) noteHandlerStore(addr uint32) {
+	if c.hdec == nil || addr < c.handlerPC || addr >= c.handlerEnd {
+		return
+	}
+	a := addr &^ 3
+	if i := int((a - c.handlerPC) >> 2); i < len(c.hdec) {
+		c.hdec[i] = decodeInstr(a, c.Mem.ReadWord(a))
+	}
+}
+
+// checkPredecode is the PredecodeCheck oracle: the cached record must
+// equal a fresh decode of the word the backing store currently holds.
+func (c *CPU) checkPredecode(p *pinstr, pc, w uint32) error {
+	if fresh := decodeInstr(pc, w); *p != fresh {
+		return fmt.Errorf("cpu: predecode cache stale at %#x: cached %#x, backing %#x", pc, p.raw, w)
+	}
+	return nil
+}

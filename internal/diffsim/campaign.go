@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/synth"
 )
 
@@ -39,6 +40,12 @@ type CampaignConfig struct {
 	Timeout time.Duration
 	// StopAfter stops the campaign after this many findings (0 = run all).
 	StopAfter int
+	// Workers fans cases across that many goroutines (<= 0 or 1 runs
+	// serially). Results — log lines, reproducers, JSONL records, the
+	// StopAfter cut-off — are delivered in seed order, so a campaign's
+	// outputs are identical for any worker count (except that Timeout
+	// skips depend on wall-clock behaviour, which concurrency perturbs).
+	Workers int
 }
 
 // Finding is one JSONL record.
@@ -90,7 +97,21 @@ func checkWithTimeout(p *synth.RandProgram, opts Options, d time.Duration) (*Fai
 	}
 }
 
-// Run executes the campaign.
+// caseOutcome is one case's compute result, handed from a worker to the
+// in-order delivery stage of Run.
+type caseOutcome struct {
+	seed   int64
+	opts   Options
+	f      *Failure           // nil when the case passed
+	prog   *synth.RandProgram // reproducer program (possibly shrunk)
+	checks int                // shrink oracle invocations
+	err    error              // infrastructure error / timeout (skip)
+}
+
+// Run executes the campaign. The expensive per-case work (generation,
+// differential check, shrinking) fans out across cfg.Workers goroutines;
+// everything observable — Summary counts, log lines, reproducer files,
+// JSONL records, the StopAfter cut-off — happens in seed order.
 func Run(cfg CampaignConfig) (*Summary, error) {
 	shadow := cfg.ShadowRF
 	if shadow == nil {
@@ -102,55 +123,72 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 		}
 	}
 	sum := &Summary{}
-	for i := 0; i < cfg.Cases; i++ {
-		seed := cfg.StartSeed + int64(i)
-		p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
-		opts := Options{ShadowRF: shadow(seed), MaxSteps: cfg.MaxSteps, Mutation: cfg.Mutation}
-		sum.Cases++
-		f, err := checkWithTimeout(p, opts, cfg.Timeout)
-		if err != nil {
-			sum.Skipped++
-			logf("seed %d: skipped: %v", seed, err)
-			continue
-		}
-		if f == nil {
-			continue
-		}
-		finding := Finding{Seed: seed, Image: f.Image, Reason: f.Reason, ShadowRF: opts.ShadowRF}
-		if cfg.Mutation != nil {
-			finding.Mutation = cfg.Mutation.Name
-		}
-		prog := f.Program
-		if cfg.Shrink {
-			shrunk, checks := Shrink(prog, opts)
-			prog = shrunk
-			finding.Checks = checks
-			finding.Instrs = shrunk.InstrCount()
-		}
-		if cfg.OutDir != "" {
-			name := fmt.Sprintf("repro_seed%d.s", seed)
+	err := parallel.ForEachOrdered(cfg.Workers, cfg.Cases,
+		func(i int) (caseOutcome, error) {
+			seed := cfg.StartSeed + int64(i)
+			p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
+			o := caseOutcome{
+				seed: seed,
+				opts: Options{ShadowRF: shadow(seed), MaxSteps: cfg.MaxSteps, Mutation: cfg.Mutation},
+			}
+			f, err := checkWithTimeout(p, o.opts, cfg.Timeout)
+			if err != nil {
+				o.err = err
+				return o, nil
+			}
+			if f == nil {
+				return o, nil
+			}
+			o.f = f
+			o.prog = f.Program
+			if cfg.Shrink {
+				o.prog, o.checks = Shrink(f.Program, o.opts)
+			}
+			return o, nil
+		},
+		func(i int, o caseOutcome, _ error) error {
+			sum.Cases++
+			if o.err != nil {
+				sum.Skipped++
+				logf("seed %d: skipped: %v", o.seed, o.err)
+				return nil
+			}
+			if o.f == nil {
+				return nil
+			}
+			finding := Finding{Seed: o.seed, Image: o.f.Image, Reason: o.f.Reason, ShadowRF: o.opts.ShadowRF}
 			if cfg.Mutation != nil {
-				name = fmt.Sprintf("repro_%s_seed%d.s", cfg.Mutation.Name, seed)
+				finding.Mutation = cfg.Mutation.Name
 			}
-			path := filepath.Join(cfg.OutDir, name)
-			if werr := writeReproducer(path, prog, &finding); werr != nil {
-				logf("seed %d: writing reproducer: %v", seed, werr)
-			} else {
-				finding.File = path
+			if cfg.Shrink {
+				finding.Checks = o.checks
+				finding.Instrs = o.prog.InstrCount()
 			}
-		}
-		sum.Findings = append(sum.Findings, finding)
-		logf("seed %d: FINDING (%s): %s", seed, f.Image, f.Reason)
-		if cfg.JSONL != nil {
-			if jerr := json.NewEncoder(cfg.JSONL).Encode(&finding); jerr != nil {
-				return sum, jerr
+			if cfg.OutDir != "" {
+				name := fmt.Sprintf("repro_seed%d.s", o.seed)
+				if cfg.Mutation != nil {
+					name = fmt.Sprintf("repro_%s_seed%d.s", cfg.Mutation.Name, o.seed)
+				}
+				path := filepath.Join(cfg.OutDir, name)
+				if werr := writeReproducer(path, o.prog, &finding); werr != nil {
+					logf("seed %d: writing reproducer: %v", o.seed, werr)
+				} else {
+					finding.File = path
+				}
 			}
-		}
-		if cfg.StopAfter > 0 && len(sum.Findings) >= cfg.StopAfter {
-			return sum, nil
-		}
-	}
-	return sum, nil
+			sum.Findings = append(sum.Findings, finding)
+			logf("seed %d: FINDING (%s): %s", o.seed, o.f.Image, o.f.Reason)
+			if cfg.JSONL != nil {
+				if jerr := json.NewEncoder(cfg.JSONL).Encode(&finding); jerr != nil {
+					return jerr
+				}
+			}
+			if cfg.StopAfter > 0 && len(sum.Findings) >= cfg.StopAfter {
+				return parallel.ErrStop
+			}
+			return nil
+		})
+	return sum, err
 }
 
 // writeReproducer emits the (possibly shrunk) program as a standalone

@@ -130,6 +130,10 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 		maxSteps = defaultMaxSteps
 	}
 	cfg := cpu.DefaultConfig()
+	// Every fuzz case also audits the predecoded-dispatch cache: each
+	// fetched entry is re-decoded from the backing I-cache word and any
+	// mismatch (a stale entry surviving a swic overwrite) fails the run.
+	cfg.PredecodeCheck = true
 	orc := newOracle(images)
 	results, runErr := verify.LockstepMulti(images, verify.MultiConfig{
 		CPU:      cfg,

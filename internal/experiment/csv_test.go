@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -40,6 +41,48 @@ func TestWriteCSV(t *testing.T) {
 			if len(r) != len(rows[0]) {
 				t.Errorf("%s row %d: %d columns, header has %d", name, i, len(r), len(rows[0]))
 			}
+		}
+	}
+}
+
+// TestWriteCSVByteIdentity regenerates the full CSV set twice — once
+// serially and once sharded across 4 workers — and requires every file
+// to be byte-identical: the emitters must be free of map-iteration
+// nondeterminism and the sharded table producers must match the serial
+// reference exactly.
+func TestWriteCSVByteIdentity(t *testing.T) {
+	emit := func(workers int) map[string][]byte {
+		dir := t.TempDir()
+		s := NewSuite(0.1)
+		s.Only = []string{"pegwit"}
+		s.Workers = workers
+		if err := s.WriteCSV(dir); err != nil {
+			t.Fatal(err)
+		}
+		names, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+		if err != nil || len(names) == 0 {
+			t.Fatalf("no CSV files written: %v", err)
+		}
+		out := map[string][]byte{}
+		for _, name := range names {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[filepath.Base(name)] = data
+		}
+		return out
+	}
+	serial := emit(1)
+	sharded := emit(4)
+	if len(sharded) != len(serial) {
+		t.Fatalf("sharded run wrote %d files, serial %d", len(sharded), len(serial))
+	}
+	for name, want := range serial {
+		if got, ok := sharded[name]; !ok {
+			t.Errorf("%s missing from sharded run", name)
+		} else if !bytes.Equal(got, want) {
+			t.Errorf("%s: sharded bytes differ from serial emit", name)
 		}
 	}
 }

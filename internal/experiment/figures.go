@@ -117,7 +117,7 @@ func (s *Suite) Figure5() ([]Fig5Curve, error) {
 		if err != nil {
 			return nil, err
 		}
-		prof := st.profiles[16]
+		prof := st.profileAt(16)
 		for _, scheme := range []program.Scheme{program.SchemeDict, program.SchemeCodePack} {
 			for _, policy := range []selective.Policy{selective.ByExecution, selective.ByMisses} {
 				curve := Fig5Curve{Bench: p.Name, Scheme: scheme, Policy: policy}

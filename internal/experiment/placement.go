@@ -35,7 +35,7 @@ func (s *Suite) Placement() ([]PlacementRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		prof := st.profiles[16]
+		prof := st.profileAt(16)
 		order := placement.Order(prof)
 		for _, th := range []float64{0, 0.20} {
 			sel := selective.Select(prof, selective.ByMisses, th)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -19,6 +20,14 @@ import (
 
 // Suite runs experiments over the benchmark set, caching built images,
 // native baselines and profiles so the tables and figures share work.
+//
+// A Suite is safe for concurrent use once its exported fields are set:
+// the parallel shard runner (internal/parallel) fans workloads across
+// goroutines against one shared Suite. Cached artefacts (images,
+// compressed results, native baselines) are built at most once under
+// per-benchmark locks and treated as read-only afterwards; the timed
+// simulations themselves (runImage from MeasureRun) run unlocked, each
+// on its own CPU instance.
 type Suite struct {
 	// Scale multiplies every benchmark's dynamic length (1.0 = the
 	// calibrated full runs; tests use smaller values).
@@ -27,14 +36,23 @@ type Suite struct {
 	Only []string
 	// MaxInstr bounds each simulation; 0 uses a generous default.
 	MaxInstr uint64
+	// Workers fans per-benchmark work (the table producers) across that
+	// many goroutines (<= 0 = GOMAXPROCS, 1 = serial). Row order and
+	// simulated values are identical for every worker count.
+	Workers int
 
+	mu     sync.Mutex // guards states
 	states map[string]*benchState
 }
 
 type benchState struct {
+	once sync.Once // builds profile+image
+	err  error     // sticky build error
+
 	profile synth.Profile
 	image   *program.Image
 
+	mu       sync.Mutex         // guards the memo maps below
 	native   map[int]runOutcome // by I-cache KB
 	profiles map[int]*cpu.ProcProfile
 	results  map[string]*core.Result
@@ -68,26 +86,30 @@ func (s *Suite) Benchmarks() []synth.Profile {
 }
 
 func (s *Suite) state(p synth.Profile) (*benchState, error) {
-	if st, ok := s.states[p.Name]; ok {
-		return st, nil
+	s.mu.Lock()
+	st, ok := s.states[p.Name]
+	if !ok {
+		st = &benchState{}
+		s.states[p.Name] = st
 	}
-	scaled := p
-	if s.Scale > 0 && s.Scale != 1 {
-		scaled = p.Scale(s.Scale)
-	}
-	im, err := synth.Build(scaled)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: building %s: %v", p.Name, err)
-	}
-	st := &benchState{
-		profile:  scaled,
-		image:    im,
-		native:   make(map[int]runOutcome),
-		profiles: make(map[int]*cpu.ProcProfile),
-		results:  make(map[string]*core.Result),
-	}
-	s.states[p.Name] = st
-	return st, nil
+	s.mu.Unlock()
+	st.once.Do(func() {
+		scaled := p
+		if s.Scale > 0 && s.Scale != 1 {
+			scaled = p.Scale(s.Scale)
+		}
+		im, err := synth.Build(scaled)
+		if err != nil {
+			st.err = fmt.Errorf("experiment: building %s: %v", p.Name, err)
+			return
+		}
+		st.profile = scaled
+		st.image = im
+		st.native = make(map[int]runOutcome)
+		st.profiles = make(map[int]*cpu.ProcProfile)
+		st.results = make(map[string]*core.Result)
+	})
+	return st, st.err
 }
 
 func (s *Suite) machine(cacheKB int) cpu.Config {
@@ -123,8 +145,12 @@ func (s *Suite) runImage(im *program.Image, cacheKB int, prof cpu.Profiler) (run
 }
 
 // nativeRun returns (caching) the native baseline at the given cache size,
-// collecting the per-procedure profile as a side effect.
+// collecting the per-procedure profile as a side effect. The lock is held
+// across the run so concurrent shards asking for the same baseline share
+// one simulation instead of racing to duplicate it.
 func (s *Suite) nativeRun(st *benchState, cacheKB int) (runOutcome, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if o, ok := st.native[cacheKB]; ok {
 		return o, nil
 	}
@@ -138,9 +164,22 @@ func (s *Suite) nativeRun(st *benchState, cacheKB int) (runOutcome, error) {
 	return o, nil
 }
 
+// profileAt returns the cached per-procedure profile collected by
+// nativeRun at the given cache size (nil if that baseline never ran).
+// The returned profile is read-only after its collecting run finishes.
+func (st *benchState) profileAt(cacheKB int) *cpu.ProcProfile {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.profiles[cacheKB]
+}
+
 // compressed returns (caching) the compressed image for the options.
+// Like nativeRun, the lock is held across the compression so shards
+// needing the same image build it once.
 func (s *Suite) compressed(st *benchState, opts core.Options) (*core.Result, error) {
 	key := fmt.Sprintf("%s/%v/%d/%v", opts.Scheme, opts.ShadowRF, opts.IndexBits, sortedNames(opts.NativeProcs))
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if r, ok := st.results[key]; ok {
 		return r, nil
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/compress/lzrw1"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/parallel"
 	"repro/internal/program"
 )
 
@@ -47,28 +48,30 @@ type Table2Row struct {
 	LZRW1Ratio    float64
 }
 
-// Table2 measures sizes, compression ratios and 16KB miss ratios.
+// Table2 measures sizes, compression ratios and 16KB miss ratios,
+// sharding the per-benchmark work across s.Workers goroutines.
 func (s *Suite) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, p := range s.Benchmarks() {
+	benches := s.Benchmarks()
+	rows, err := parallel.Map(s.Workers, len(benches), func(i int) (Table2Row, error) {
+		p := benches[i]
 		st, err := s.state(p)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		nat, err := s.nativeRun(st, 16)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		d, err := s.compressed(st, core.Options{Scheme: program.SchemeDict})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		cp, err := s.compressed(st, core.Options{Scheme: program.SchemeCodePack})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		text := st.image.Segment(program.SegText)
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			Bench:         p.Name,
 			DynamicInstrs: nat.stats.Instrs,
 			MissRatio16K:  missRatio(nat),
@@ -78,7 +81,10 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			DictRatio:     d.Ratio(),
 			CPRatio:       cp.Ratio(),
 			LZRW1Ratio:    lzrw1.Ratio(text.Data),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -108,17 +114,19 @@ type Table3Row struct {
 }
 
 // Table3 measures the slowdowns of the four decompressor configurations
-// at the baseline 16KB I-cache.
+// at the baseline 16KB I-cache, sharding benchmarks across s.Workers
+// goroutines.
 func (s *Suite) Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, p := range s.Benchmarks() {
+	benches := s.Benchmarks()
+	rows, err := parallel.Map(s.Workers, len(benches), func(i int) (Table3Row, error) {
+		p := benches[i]
 		st, err := s.state(p)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		nat, err := s.nativeRun(st, 16)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		row := Table3Row{Bench: p.Name}
 		for _, v := range []struct {
@@ -132,11 +140,14 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 		} {
 			o, _, err := s.compressedRun(st, v.opts, 16)
 			if err != nil {
-				return nil, err
+				return Table3Row{}, err
 			}
 			*v.dst = slowdown(o, nat)
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -53,7 +53,7 @@ func (s *Suite) SelectNative(bench string, policy selective.Policy, fraction flo
 	if _, err := s.nativeRun(st, 16); err != nil {
 		return nil, err
 	}
-	return selective.Select(st.profiles[16], policy, fraction), nil
+	return selective.Select(st.profileAt(16), policy, fraction), nil
 }
 
 // MeasureRun executes one fresh simulation of bench at cacheKB and

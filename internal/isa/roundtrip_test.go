@@ -1,0 +1,203 @@
+package isa_test
+
+// Round-trip tests for the full opcode set: every mnemonic is
+// assembled, the emitted word decoded with the field helpers, and the
+// fields re-encoded — the result must be the original word (the
+// encoders and extractors must agree on every bit position and mask).
+// FuzzDecodeEncode extends the invariant to arbitrary words: an
+// encoding is either rejected everywhere (SpecOf nil ⇔ KindIllegal) or
+// survives decode → re-encode unchanged.
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// exampleLine renders a representative assembly line for a mnemonic,
+// with distinct registers and non-trivial operands so any swapped or
+// clipped field changes the encoding.
+func exampleLine(s *isa.Spec) string {
+	switch s.Syntax {
+	case isa.SynR3:
+		return s.Name + " $t0, $t1, $t2"
+	case isa.SynShift:
+		return s.Name + " $t0, $t1, 7"
+	case isa.SynShiftV:
+		return s.Name + " $t0, $t1, $t2"
+	case isa.SynMulDiv:
+		return s.Name + " $t1, $t2"
+	case isa.SynMoveFrom:
+		return s.Name + " $t0"
+	case isa.SynJR:
+		return s.Name + " $ra"
+	case isa.SynJALR:
+		return s.Name + " $t0, $t1"
+	case isa.SynImm:
+		if s.Signed {
+			return s.Name + " $t0, $t1, -4"
+		}
+		return s.Name + " $t0, $t1, 100"
+	case isa.SynLUI:
+		return s.Name + " $t0, 4660"
+	case isa.SynBranch2:
+		return "l: " + s.Name + " $t0, $t1, l"
+	case isa.SynBranch1:
+		return "l: " + s.Name + " $t0, l"
+	case isa.SynJump:
+		return "l: " + s.Name + " l"
+	case isa.SynMem:
+		return s.Name + " $t0, -4($t1)"
+	case isa.SynCop:
+		return s.Name + " $k1, $c0_badva"
+	case isa.SynNone:
+		return s.Name
+	}
+	return ""
+}
+
+// reencode rebuilds w from its decoded fields, using the format the
+// primary opcode selects.
+func reencode(w isa.Word) isa.Word {
+	switch isa.Op(w) {
+	case isa.OpSpecial:
+		return isa.EncodeR(isa.Funct(w), isa.Rs(w), isa.Rt(w), isa.Rd(w), isa.Shamt(w))
+	case isa.OpJ, isa.OpJAL:
+		return isa.EncodeJ(isa.Op(w), isa.Target(w))
+	case isa.OpCOP0:
+		// No dedicated encoder: rebuild from the R-format fields.
+		return isa.Op(w)<<26 | uint32(isa.Rs(w))<<21 | uint32(isa.Rt(w))<<16 |
+			uint32(isa.Rd(w))<<11 | isa.Shamt(w)<<6 | isa.Funct(w)
+	default:
+		return isa.EncodeI(isa.Op(w), isa.Rs(w), isa.Rt(w), isa.Imm(w))
+	}
+}
+
+// assembleOne assembles a single-instruction program and returns the
+// emitted word.
+func assembleOne(t *testing.T, line string) isa.Word {
+	t.Helper()
+	im, err := asm.Assemble(".text\n" + line + "\n")
+	if err != nil {
+		t.Fatalf("assemble %q: %v", line, err)
+	}
+	text := im.Segment(".text")
+	if len(text.Data) != 4 {
+		t.Fatalf("assemble %q: emitted %d bytes, want 4", line, len(text.Data))
+	}
+	return text.Word(im.Entry)
+}
+
+// TestEveryOpcodeRoundTrip drives each mnemonic through
+// assemble → encode → decode → re-encode and requires a fixed point,
+// plus agreement between SpecOf and the assembled mnemonic.
+func TestEveryOpcodeRoundTrip(t *testing.T) {
+	for i := range isa.Specs {
+		s := &isa.Specs[i]
+		t.Run(s.Name, func(t *testing.T) {
+			w := assembleOne(t, exampleLine(s))
+			got := isa.SpecOf(w)
+			if got == nil {
+				t.Fatalf("SpecOf(%#08x) = nil, assembled from %q", w, s.Name)
+			}
+			if got.Name != s.Name {
+				t.Fatalf("SpecOf(%#08x) = %q, assembled from %q", w, got.Name, s.Name)
+			}
+			if isa.Classify(w) == isa.KindIllegal {
+				t.Fatalf("Classify(%#08x) = illegal for %q", w, s.Name)
+			}
+			if re := reencode(w); re != w {
+				t.Fatalf("%s: decode/re-encode %#08x -> %#08x", s.Name, w, re)
+			}
+		})
+	}
+}
+
+// TestSemanticFieldRoundTrip checks that operand values survive the
+// encoders and come back through the matching extractor.
+func TestSemanticFieldRoundTrip(t *testing.T) {
+	for _, imm := range []int32{-32768, -4, 0, 1, 255, 32767} {
+		w := isa.EncodeI(isa.OpADDI, 9, 8, uint32(imm))
+		if got := isa.SImm(w); got != imm {
+			t.Errorf("SImm(EncodeI(addi, %d)) = %d", imm, got)
+		}
+	}
+	for _, imm := range []uint32{0, 1, 0xFF, 0xFFFF} {
+		w := isa.EncodeI(isa.OpORI, 9, 8, imm)
+		if got := isa.Imm(w); got != imm {
+			t.Errorf("Imm(EncodeI(ori, %#x)) = %#x", imm, got)
+		}
+	}
+	for _, sh := range []uint32{0, 1, 31} {
+		w := isa.EncodeR(isa.FnSLL, 0, 9, 8, sh)
+		if got := isa.Shamt(w); got != sh {
+			t.Errorf("Shamt(EncodeR(sll, %d)) = %d", sh, got)
+		}
+	}
+	for _, tgt := range []uint32{0, 1, 0x03FFFFFF} {
+		w := isa.EncodeJ(isa.OpJ, tgt)
+		if got := isa.Target(w); got != tgt {
+			t.Errorf("Target(EncodeJ(%#x)) = %#x", tgt, got)
+		}
+	}
+}
+
+// TestRegisterFieldRange checks that the decode helpers only ever
+// return register numbers the CPU's register file can index.
+func TestRegisterFieldRange(t *testing.T) {
+	words := []isa.Word{0, 0xFFFFFFFF, 0x03E00008, 0xAFBF0010, 0x8FBF0010}
+	for i := range isa.Specs {
+		words = append(words, assembleOne(t, exampleLine(&isa.Specs[i])))
+	}
+	for _, w := range words {
+		a, b := isa.SrcRegs(w)
+		for _, r := range []int{a, b} {
+			if r < -1 || r > 31 {
+				t.Errorf("SrcRegs(%#08x) returned out-of-range register %d", w, r)
+			}
+		}
+		if d := isa.LoadDest(w); d < -1 || d > 31 {
+			t.Errorf("LoadDest(%#08x) = %d out of range", w, d)
+		}
+	}
+}
+
+// FuzzDecodeEncode is the reject-or-round-trip invariant over the whole
+// 32-bit encoding space: a word is either illegal for both SpecOf and
+// Classify, or its decoded fields re-encode to the identical word; the
+// decode helpers never panic or return out-of-range registers either
+// way.
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	for i := range isa.Specs {
+		s := &isa.Specs[i]
+		im, err := asm.Assemble(".text\n" + exampleLine(s) + "\n")
+		if err == nil && len(im.Segment(".text").Data) == 4 {
+			f.Add(im.Segment(".text").Word(im.Entry))
+		}
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		spec := isa.SpecOf(w)
+		kind := isa.Classify(w)
+		if (spec == nil) != (kind == isa.KindIllegal) {
+			t.Fatalf("SpecOf(%#08x) = %v but Classify = %v: the decoders disagree", w, spec, kind)
+		}
+		// Total helpers: never panic, registers always indexable.
+		_ = isa.Disassemble(0x1000, w)
+		a, b := isa.SrcRegs(w)
+		if a < -1 || a > 31 || b < -1 || b > 31 {
+			t.Fatalf("SrcRegs(%#08x) = (%d, %d) out of range", w, a, b)
+		}
+		if d := isa.LoadDest(w); d < -1 || d > 31 {
+			t.Fatalf("LoadDest(%#08x) = %d out of range", w, d)
+		}
+		if spec == nil {
+			return
+		}
+		if re := reencode(w); re != w {
+			t.Fatalf("%s: decode/re-encode %#08x -> %#08x", spec.Name, w, re)
+		}
+	})
+}

@@ -39,6 +39,14 @@ type Memory struct {
 	pages map[uint32][]byte
 	bus   BusConfig
 
+	// Direct-mapped page cache: accesses cluster on a handful of pages
+	// (stack, handler tables, compressed indices, dictionary), and pages
+	// are never removed, so caching resolved lookups is always coherent
+	// and skips the map on the hot path. Eight slots keep the
+	// decompressor's interleaved indices/dictionary/stack streams from
+	// thrashing a single entry.
+	pcache [8]pageSlot
+
 	// Reads counts bus read transactions; BytesRead the bytes moved.
 	Reads     uint64
 	BytesRead uint64
@@ -57,12 +65,24 @@ func New(bus BusConfig) *Memory {
 // Bus returns the bus timing configuration.
 func (m *Memory) Bus() BusConfig { return m.bus }
 
+type pageSlot struct {
+	idx  uint32
+	data []byte
+}
+
 func (m *Memory) page(addr uint32, create bool) []byte {
 	idx := addr >> pageShift
+	s := &m.pcache[idx&7]
+	if s.data != nil && s.idx == idx {
+		return s.data
+	}
 	p := m.pages[idx]
 	if p == nil && create {
 		p = make([]byte, pageSize)
 		m.pages[idx] = p
+	}
+	if p != nil {
+		s.idx, s.data = idx, p
 	}
 	return p
 }

@@ -1,0 +1,168 @@
+// Package parallel provides the deterministic worker-pool primitives
+// the experiment engine is sharded on: fan a fixed index range across
+// GOMAXPROCS goroutines while guaranteeing that results are observed in
+// index order, regardless of completion order. The contract every
+// caller relies on (and the -race tests enforce):
+//
+//   - compute functions receive only their index and must derive all
+//     per-shard state (seeds, workload names) from it, never from
+//     shared mutable state or the scheduling order;
+//   - results and side effects (log lines, JSONL findings, samples)
+//     are delivered on the calling goroutine in strictly ascending
+//     index order, so output produced with N workers is byte-identical
+//     to output produced with 1;
+//   - early stop (ErrStop) yields a deterministic prefix: every index
+//     below the stopping one is delivered, none above it is.
+//
+// Shared inputs (compressed images, workload registries) must be
+// treated as read-only by compute functions; the package adds no
+// locking around them.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrStop is returned by a ForEachOrdered deliver callback to stop the
+// run early. The call then returns nil after cancelling the remaining
+// indices: deliveries form a deterministic prefix of the index range.
+var ErrStop = errors.New("parallel: stop")
+
+// Workers resolves a worker-count request: values <= 0 mean
+// runtime.GOMAXPROCS(0), and the count is clamped to n (no point
+// spinning up idle goroutines for fewer items).
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// item carries one computed result to the coordinator.
+type item[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// ForEachOrdered computes fn(0..n-1) on `workers` goroutines (<= 0 =
+// GOMAXPROCS) and calls deliver on the calling goroutine in strictly
+// ascending index order. compute runs concurrently and must be safe
+// w.r.t. other compute calls; deliver never runs concurrently with
+// itself.
+//
+// If deliver returns ErrStop, remaining computations are cancelled
+// (already-started ones finish and are discarded) and ForEachOrdered
+// returns nil. Any other deliver error cancels the same way and is
+// returned. compute errors are passed to deliver, which decides
+// whether they stop the run.
+func ForEachOrdered[T any](workers, n int, compute func(i int) (T, error), deliver func(i int, v T, err error) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		// Serial fast path: identical semantics, no goroutines, so the
+		// 1-worker configuration is trivially the reference behaviour.
+		for i := 0; i < n; i++ {
+			v, err := compute(i)
+			if derr := deliver(i, v, err); derr != nil {
+				if errors.Is(derr, ErrStop) {
+					return nil
+				}
+				return derr
+			}
+		}
+		return nil
+	}
+
+	var stopped atomic.Bool
+	jobs := make(chan int)
+	results := make(chan item[T], w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stopped.Load() {
+					// Cancelled: report a zero value so the coordinator
+					// can keep its bookkeeping; it discards everything
+					// past the stop index anyway.
+					var zero T
+					results <- item[T]{idx: i, val: zero, err: ErrStop}
+					continue
+				}
+				v, err := compute(i)
+				results <- item[T]{idx: i, val: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: deliver strictly in index order.
+	pending := make(map[int]item[T], w)
+	next := 0
+	var firstErr error
+	for it := range results {
+		pending[it.idx] = it
+		for {
+			cur, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if stopped.Load() || errors.Is(cur.err, ErrStop) {
+				continue // draining after cancellation
+			}
+			if derr := deliver(cur.idx, cur.val, cur.err); derr != nil {
+				stopped.Store(true)
+				if !errors.Is(derr, ErrStop) && firstErr == nil {
+					firstErr = derr
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// Map computes fn(0..n-1) on `workers` goroutines (<= 0 = GOMAXPROCS)
+// and returns the results in index order. Every index is computed even
+// when some fail; the returned error is the lowest-index one, so the
+// outcome is independent of scheduling. Deterministic compute functions
+// therefore produce bit-identical result slices for every worker count.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	var firstErr error
+	err := ForEachOrdered(workers, n, fn, func(i int, v T, err error) error {
+		out[i] = v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return nil
+	})
+	if firstErr == nil {
+		firstErr = err
+	}
+	return out, firstErr
+}

@@ -1,0 +1,233 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jitter stalls a compute call by an index-derived amount so completion
+// order differs from index order without any randomness.
+func jitter(i int) {
+	time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+}
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		requested, n, min, max int
+	}{
+		{1, 10, 1, 1},
+		{4, 10, 4, 4},
+		{4, 2, 2, 2},  // clamped to n
+		{8, 0, 1, 1},  // never below 1
+		{-3, 1, 1, 1}, // <=0 means GOMAXPROCS, then clamped to n
+		{0, 1, 1, 1},
+	}
+	for _, c := range cases {
+		got := Workers(c.requested, c.n)
+		if got < c.min || got > c.max {
+			t.Errorf("Workers(%d, %d) = %d, want in [%d, %d]", c.requested, c.n, got, c.min, c.max)
+		}
+	}
+	if got := Workers(0, 100); got < 1 {
+		t.Errorf("Workers(0, 100) = %d", got)
+	}
+}
+
+// TestForEachOrderedDelivery checks the core contract for a spread of
+// worker counts: every index delivered exactly once, in strictly
+// ascending order, with the value its compute produced — regardless of
+// the scheduling order the jitter provokes.
+func TestForEachOrderedDelivery(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 2, 3, 8, n + 5} {
+		next := 0
+		err := ForEachOrdered(workers, n,
+			func(i int) (int, error) {
+				jitter(i)
+				return i * i, nil
+			},
+			func(i int, v int, err error) error {
+				if err != nil {
+					return err
+				}
+				if i != next {
+					return fmt.Errorf("delivered index %d, want %d", i, next)
+				}
+				if v != i*i {
+					return fmt.Errorf("index %d delivered %d, want %d", i, v, i*i)
+				}
+				next++
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if next != n {
+			t.Fatalf("workers=%d: delivered %d of %d", workers, next, n)
+		}
+	}
+}
+
+// TestForEachOrderedStop checks that ErrStop yields a deterministic
+// prefix: everything below the stop index delivered, nothing above it.
+func TestForEachOrderedStop(t *testing.T) {
+	const n, stopAt = 50, 11
+	for _, workers := range []int{1, 4} {
+		var delivered []int
+		err := ForEachOrdered(workers, n,
+			func(i int) (int, error) { jitter(i); return i, nil },
+			func(i int, v int, err error) error {
+				delivered = append(delivered, i)
+				if i == stopAt {
+					return ErrStop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: ErrStop leaked: %v", workers, err)
+		}
+		if len(delivered) != stopAt+1 {
+			t.Fatalf("workers=%d: delivered %v, want exactly 0..%d", workers, delivered, stopAt)
+		}
+		for want, got := range delivered {
+			if got != want {
+				t.Fatalf("workers=%d: delivered %v out of order", workers, delivered)
+			}
+		}
+	}
+}
+
+// TestForEachOrderedError checks that a deliver error cancels the run
+// and is returned, and that cancellation stops feeding compute
+// eventually (no goroutine runs every remaining index).
+func TestForEachOrderedError(t *testing.T) {
+	boom := errors.New("boom")
+	const n, failAt = 40, 7
+	for _, workers := range []int{1, 4} {
+		var computed atomic.Int32
+		var last int = -1
+		err := ForEachOrdered(workers, n,
+			func(i int) (int, error) {
+				computed.Add(1)
+				jitter(i)
+				return i, nil
+			},
+			func(i int, v int, err error) error {
+				last = i
+				if i == failAt {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if last != failAt {
+			t.Fatalf("workers=%d: delivery continued past the error (last %d)", workers, last)
+		}
+		if workers == 1 && computed.Load() != failAt+1 {
+			t.Fatalf("serial path computed %d indices, want %d", computed.Load(), failAt+1)
+		}
+	}
+}
+
+// TestForEachOrderedComputeError checks that compute errors reach
+// deliver attached to their index.
+func TestForEachOrderedComputeError(t *testing.T) {
+	bad := errors.New("bad index")
+	for _, workers := range []int{1, 4} {
+		var gotErrs []int
+		err := ForEachOrdered(workers, 20,
+			func(i int) (int, error) {
+				if i%5 == 0 {
+					return 0, bad
+				}
+				return i, nil
+			},
+			func(i int, v int, err error) error {
+				if err != nil {
+					if !errors.Is(err, bad) {
+						return fmt.Errorf("index %d: unexpected error %v", i, err)
+					}
+					gotErrs = append(gotErrs, i)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := []int{0, 5, 10, 15}
+		if len(gotErrs) != len(want) {
+			t.Fatalf("workers=%d: errors at %v, want %v", workers, gotErrs, want)
+		}
+		for k := range want {
+			if gotErrs[k] != want[k] {
+				t.Fatalf("workers=%d: errors at %v, want %v", workers, gotErrs, want)
+			}
+		}
+	}
+}
+
+// TestForEachOrderedZero checks the empty range is a no-op.
+func TestForEachOrderedZero(t *testing.T) {
+	err := ForEachOrdered(4, 0,
+		func(i int) (int, error) { t.Fatal("compute called"); return 0, nil },
+		func(i int, v int, err error) error { t.Fatal("deliver called"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapDeterministic demands bit-identical result slices for every
+// worker count — the contract the sharded experiment engine rests on.
+func TestMapDeterministic(t *testing.T) {
+	const n = 128
+	compute := func(i int) (uint64, error) {
+		jitter(i)
+		// A deterministic per-index mix, standing in for a simulation.
+		h := uint64(i)*0x9E3779B97F4A7C15 + 1
+		h ^= h >> 29
+		return h, nil
+	}
+	ref, err := Map(1, n, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Map(workers, n, compute)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %#x, serial %#x", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMapLowestIndexError checks that Map's error is the lowest-index
+// one no matter which worker hits its error first, and that every index
+// is still computed.
+func TestMapLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var computed atomic.Int32
+		_, err := Map(workers, 30, func(i int) (int, error) {
+			computed.Add(1)
+			jitter(30 - i) // later indices finish first
+			if i == 3 || i == 20 {
+				return 0, fmt.Errorf("fail@%d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("workers=%d: err = %v, want fail@3", workers, err)
+		}
+		if computed.Load() != 30 {
+			t.Fatalf("workers=%d: computed %d of 30", workers, computed.Load())
+		}
+	}
+}

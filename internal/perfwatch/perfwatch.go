@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/parallel"
 	"repro/internal/program"
 	"repro/internal/selective"
 )
@@ -109,7 +110,14 @@ type Runner struct {
 	Log *slog.Logger
 	// Progress, when non-nil, is called after each completed workload
 	// with (done, total) — the hook behind ccbench's expvar endpoint.
+	// With Workers > 1 it is still invoked in registry order.
 	Progress func(done, total int, last Sample)
+	// Workers fans the workloads across that many goroutines (<= 0 or 1
+	// runs serially). Samples keep registry order and simulated metrics
+	// are bit-identical for any worker count, but concurrent timed runs
+	// perturb each other's host wall times — keep 1 when the host axis
+	// feeds a trajectory file, raise it for sim-only or smoke use.
+	Workers int
 
 	suite *experiment.Suite
 }
@@ -205,16 +213,25 @@ func (r *Runner) Run(fp Fingerprint, only []string) (Entry, error) {
 		workloads = filtered
 	}
 	entry := Entry{Time: time.Now().UTC().Format(time.RFC3339), Fingerprint: fp}
-	for i, w := range workloads {
-		log.Info("workload", "name", w.Name, "desc", w.Desc(), "n", i+1, "of", len(workloads))
-		s, err := r.RunWorkload(w)
-		if err != nil {
-			return Entry{}, err
-		}
-		entry.Samples = append(entry.Samples, s)
-		if r.Progress != nil {
-			r.Progress(i+1, len(workloads), s)
-		}
+	total := len(workloads)
+	err := parallel.ForEachOrdered(r.Workers, total,
+		func(i int) (Sample, error) {
+			w := workloads[i]
+			log.Info("workload", "name", w.Name, "desc", w.Desc(), "n", i+1, "of", total)
+			return r.RunWorkload(w)
+		},
+		func(i int, s Sample, err error) error {
+			if err != nil {
+				return err
+			}
+			entry.Samples = append(entry.Samples, s)
+			if r.Progress != nil {
+				r.Progress(i+1, total, s)
+			}
+			return nil
+		})
+	if err != nil {
+		return Entry{}, err
 	}
 	return entry, nil
 }
