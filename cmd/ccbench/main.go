@@ -157,6 +157,7 @@ func startExpvar(addr string, log *slog.Logger) *progressVars {
 		return pv
 	}
 	pv.publish()
+	//cccheck:allow(pool) expvar HTTP server: infrastructure goroutine, never touches simulated output
 	go func() {
 		log.Info("expvar endpoint", "addr", "http://"+addr+"/debug/vars")
 		if err := http.ListenAndServe(addr, nil); err != nil {

@@ -1,0 +1,73 @@
+// cccheck statically enforces the repo's determinism, hook, and
+// concurrency contracts (see docs/static-analysis.md):
+//
+//	detsafe        no time.Now / os.Getenv / unseeded math/rand /
+//	               map-ordered output in the deterministic packages
+//	hookguard      every telemetry/observer hook call nil-check dominated
+//	poolonly       all fan-out through internal/parallel's ordered pool
+//	statscomplete  every cpu.Stats field covered by the marked
+//	               sum-invariant and equivalence-comparison sites
+//
+// Usage:
+//
+//	cccheck ./...                 # standalone: wraps `go vet -vettool`
+//	go vet -vettool=$(which cccheck) ./...
+//
+// Standalone mode re-executes itself through the go command, which
+// supplies per-package type information and export data; the binary
+// then acts as a unitchecker worker. Exemptions use
+// //cccheck:allow(det|hook|pool|stats) <reason> annotations.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/checks"
+)
+
+func main() {
+	args := os.Args[1:]
+	if workerInvocation(args) {
+		unitchecker.Main(checks.All()...) // never returns
+	}
+	os.Exit(standalone(args))
+}
+
+// workerInvocation reports whether the go command is driving us through
+// the vet-tool protocol: a -V=full / -flags probe or a *.cfg unit.
+func workerInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-executes the binary under `go vet -vettool`, passing
+// analyzer flags and package patterns through unchanged.
+func standalone(args []string) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout, cmd.Stderr, cmd.Stdin = os.Stdout, os.Stderr, os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "cccheck:", err)
+		return 2
+	}
+	return 0
+}

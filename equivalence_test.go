@@ -21,6 +21,10 @@ import (
 
 // runBoth runs im under both decode paths and fails the test unless
 // output and stats match exactly. It returns the predecoded result.
+// The whole-struct Stats comparison below is the equivalence battery's
+// coverage anchor: statscomplete proves it sees every counter.
+//
+//cccheck:stats(compare)
 func runBoth(t *testing.T, label string, im *rtd.Image, machine rtd.MachineConfig) rtd.RunResult {
 	t.Helper()
 	pre := machine

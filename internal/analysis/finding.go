@@ -63,6 +63,7 @@ const (
 	RuleHandlerStore      = "handler-store"       // store outside the $sp red zone
 	RuleHandlerShadowRead = "handler-shadow-read" // shadow-RF handler reads stale register
 	RuleHandlerSysreg     = "handler-sysreg"      // handler writes exception state via mtc0
+	RuleHandlerCoverage   = "handler-coverage"    // handler bytes outside the save/restore proof
 )
 
 // Finding is one diagnostic: a rule violation at a program counter.

@@ -40,16 +40,27 @@ type HandlerInfo struct {
 //     register before writing it (liveness at entry) is a bug.
 //   - handler-sysreg: mtc0 to EPC/Status/Cause/BadVA corrupts the
 //     exception state iret consumes.
+//   - handler-coverage: every byte of the handler RAM must be covered by
+//     the save/restore proof. The clobber/store/escape checks above walk
+//     only reachable blocks, so unreachable handler bytes (code after
+//     iret, orphaned loops, trailing non-word residue) are unverifiable:
+//     nothing proves they preserve user state if a wild transfer lands
+//     on them with EXL set, and nothing rules the transfer out either.
 func AnalyzeHandlerSegment(seg *program.Segment, info HandlerInfo, rep *Report) *CFG {
 	words := segWords(seg)
+	if residue := len(seg.Data) % 4; residue != 0 {
+		rep.add(RuleHandlerCoverage, Error, seg.Base+uint32(len(words)*4), info.Name,
+			"%d trailing byte(s) do not decode as instructions: outside the save/restore proof", residue)
+	}
 	g := BuildCFG(info.Name, seg.Base, words)
 	reach := g.Reachable()
 
 	sawSwic := false
 	for i, b := range g.Blocks {
 		if !reach[i] {
-			rep.add(RuleDeadCode, Warning, b.Start(), info.Name,
-				"unreachable handler block (%d instructions)", len(b.Instrs))
+			rep.add(RuleHandlerCoverage, Error, b.Start(), info.Name,
+				"unreachable handler block (%d instructions): outside the save/restore proof",
+				len(b.Instrs))
 			continue
 		}
 		if b.FallsOff {

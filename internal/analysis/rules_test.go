@@ -62,6 +62,7 @@ func TestBrokenHandlerFixtures(t *testing.T) {
 		{"bad_shadowread.s", true, analysis.RuleHandlerShadowRead},
 		{"bad_sysreg.s", false, analysis.RuleHandlerSysreg},
 		{"bad_hilo.s", true, analysis.RuleHandlerClobber},
+		{"bad_deadcode.s", false, analysis.RuleHandlerCoverage},
 	}
 	for _, c := range cases {
 		t.Run(c.file, func(t *testing.T) {
@@ -209,6 +210,7 @@ func TestRuleCoverage(t *testing.T) {
 		{"bad_clobber.s", false}, {"bad_restore.s", false}, {"bad_noiret.s", false},
 		{"bad_noswic.s", false}, {"bad_escape.s", false}, {"bad_store.s", false},
 		{"bad_shadowread.s", true}, {"bad_sysreg.s", false}, {"bad_hilo.s", true},
+		{"bad_deadcode.s", false},
 	} {
 		for r := range handlerFindings(t, c.file, c.shadowRF) {
 			all[r] = true

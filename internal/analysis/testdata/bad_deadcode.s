@@ -1,0 +1,25 @@
+# Broken handler: the refill loop itself is clean (saves and restores
+# $t1/$t2, fills the line, irets), but two instructions sit after the
+# iret where nothing can reach them — and nothing proves them. Must
+# fire handler-coverage on the unreachable block.
+        .section .decompressor, 0x7F000000
+        .proc __bad_deadcode
+__bad_deadcode:
+        sw    $t1, -4($sp)
+        sw    $t2, -8($sp)
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 5
+        sll   $k1, $k1, 5
+        mfc0  $t1, $c0_dict
+        addiu $t2, $k1, 32
+cloop:  lw    $k0, 0($t1)
+        swic  $k0, 0($k1)
+        addiu $t1, $t1, 4
+        addiu $k1, $k1, 4
+        bne   $k1, $t2, cloop
+        lw    $t1, -4($sp)
+        lw    $t2, -8($sp)
+        iret
+        addiu $t3, $t3, 1
+        sw    $t3, 0($sp)
+        .endp

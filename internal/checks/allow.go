@@ -1,0 +1,118 @@
+// Package checks is the repo's static contract enforcement: four
+// go/analysis analyzers (detsafe, hookguard, poolonly, statscomplete)
+// that prove, at compile time, the invariants the simulator's
+// bit-identity and determinism guarantees rest on. cmd/cccheck is the
+// driver; docs/static-analysis.md is the contract reference.
+//
+// Escape hatch: a site that intentionally breaks a rule carries an
+// allow annotation on its own line or the line above:
+//
+//	//cccheck:allow(<check>) <reason>
+//
+// where <check> is one of det, hook, pool, stats and <reason> is a
+// mandatory free-form justification. An annotation with a missing or
+// empty reason does not suppress anything (and is itself reported), so
+// every exemption in the tree is self-documenting.
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var allowRe = regexp.MustCompile(`^//cccheck:allow\((det|hook|pool|stats)\)\s*(.*)$`)
+
+// allowSet records, per file line, which checks are suppressed there.
+type allowSet map[int]map[string]bool
+
+// allowIndex maps a filename to the lines its annotations cover.
+type allowIndex map[string]allowSet
+
+// buildAllowIndex scans every comment in the pass for allow
+// annotations. An annotation covers its own line and the line below it
+// (so it can trail the offending statement or sit on its own line just
+// above). Malformed annotations — empty reason — are reported and
+// suppress nothing.
+func buildAllowIndex(pass *analysis.Pass) allowIndex {
+	idx := allowIndex{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//cccheck:allow") {
+						pass.Reportf(c.Pos(), "malformed cccheck annotation %q: want //cccheck:allow(det|hook|pool|stats) <reason>", c.Text)
+					}
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					// Report at the line the annotation would have
+					// covered, so the unsuppressed violation and the
+					// missing-reason complaint land together.
+					pos := c.Pos()
+					if tf := pass.Fset.File(pos); tf != nil {
+						if line := tf.Line(pos); line < tf.LineCount() {
+							pos = tf.LineStart(line + 1)
+						}
+					}
+					pass.Reportf(pos, "cccheck:allow(%s) without a reason: every exemption must say why", m[1])
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				set := idx[pos.Filename]
+				if set == nil {
+					set = allowSet{}
+					idx[pos.Filename] = set
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if set[line] == nil {
+						set[line] = map[string]bool{}
+					}
+					set[line][m[1]] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether the given check is suppressed at pos.
+func (idx allowIndex) allowed(fset *token.FileSet, pos token.Pos, check string) bool {
+	p := fset.Position(pos)
+	set, ok := idx[p.Filename]
+	if !ok {
+		return false
+	}
+	return set[p.Line][check]
+}
+
+// inTestFile reports whether pos lies in a _test.go file. The
+// concurrency and determinism contracts bind shipped code; tests may
+// spin goroutines and read clocks freely.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// selectorString flattens a selector chain rooted at an identifier into
+// a dotted path ("c.Tel", "m.OnBurst"). It returns "" for receivers
+// that are not simple ident chains (calls, index expressions), which
+// the guards cannot track.
+func selectorString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := selectorString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return selectorString(x.X)
+	}
+	return ""
+}

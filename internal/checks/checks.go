@@ -1,0 +1,8 @@
+package checks
+
+import "golang.org/x/tools/go/analysis"
+
+// All is the cccheck suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{DetSafe, HookGuard, PoolOnly, StatsComplete}
+}

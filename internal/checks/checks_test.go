@@ -1,0 +1,110 @@
+package checks_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checks"
+	"repro/internal/checks/checktest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// TestDetSafe: the determinism rules fire inside a det-bound package
+// (clock reads, env reads, global rand, map-ordered emission) and the
+// sanctioned forms — seeded rand, collect-sort-emit, reasoned allow
+// annotations — stay quiet.
+func TestDetSafe(t *testing.T) {
+	checktest.Run(t, checks.DetSafe, fixture("det"),
+		map[string]string{"pkgs": "det"})
+}
+
+// TestDetSafeOutsideContract: the same calls in a package outside the
+// deterministic set produce no diagnostics.
+func TestDetSafeOutsideContract(t *testing.T) {
+	checktest.Run(t, checks.DetSafe, fixture("detout"),
+		map[string]string{"pkgs": "det"})
+}
+
+// TestHookGuard: every guard idiom (guard block, early exit,
+// disjunctive exit, alias, switch case, inherited closure guard) is
+// accepted; unguarded, wrong-selector, and post-invalidation calls are
+// flagged.
+func TestHookGuard(t *testing.T) {
+	checktest.Run(t, checks.HookGuard, fixture("hook"),
+		map[string]string{"fields": "Tel,OnBurst", "types": "Observer"})
+}
+
+// TestPoolOnly: raw go statements and WaitGroup declarations are
+// flagged outside the pool package; the annotated infrastructure
+// goroutine is not.
+func TestPoolOnly(t *testing.T) {
+	checktest.Run(t, checks.PoolOnly, fixture("pool"),
+		map[string]string{"pkg": "repro/internal/parallel"})
+}
+
+// TestPoolOnlyInsidePool: the pool package itself may own goroutines
+// and WaitGroups.
+func TestPoolOnlyInsidePool(t *testing.T) {
+	checktest.Run(t, checks.PoolOnly, fixture("parallelown"),
+		map[string]string{"pkg": "parallelown"})
+}
+
+// TestStatsComplete: marked sum/compare sites must cover every stats
+// field; whole-struct comparisons cover everything at once.
+func TestStatsComplete(t *testing.T) {
+	checktest.Run(t, checks.StatsComplete, fixture("stats"),
+		map[string]string{"type": "stats.Stats"})
+}
+
+// TestStatsShape: reference-typed or unexported counters break the
+// bit-identity proofs structurally and are flagged in the defining
+// package.
+func TestStatsShape(t *testing.T) {
+	checktest.Run(t, checks.StatsComplete, fixture("statsbad"),
+		map[string]string{"type": "statsbad.Stats"})
+}
+
+// TestContractSitesPresent pins the repo-level wiring the per-package
+// analyzers cannot see: the tree must contain at least one
+// //cccheck:stats(sum) and one //cccheck:stats(compare) site, so the
+// completeness proof always has something to hold on to.
+func TestContractSitesPresent(t *testing.T) {
+	root := filepath.Join("..", "..")
+	found := map[string]int{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "vendor", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, kind := range []string{"sum", "compare"} {
+			found[kind] += strings.Count(string(data), "//cccheck:stats("+kind+")")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"sum", "compare"} {
+		if found[kind] == 0 {
+			t.Errorf("no //cccheck:stats(%s) site in the tree: the statscomplete proof has nothing to check", kind)
+		}
+	}
+}

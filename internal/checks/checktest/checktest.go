@@ -1,0 +1,220 @@
+// Package checktest is a self-contained analysistest equivalent: it
+// loads a fixture package from a testdata directory, typechecks it
+// against the standard library via the source importer (no network, no
+// export data), runs one analyzer, and matches the diagnostics against
+// `// want "regexp"` comments, analysistest-style.
+//
+// It exists because the full golang.org/x/tools/go/analysis/analysistest
+// depends on go/packages, which is not vendored; the subset implemented
+// here — one package per directory, inspect.Analyzer as the only
+// prerequisite, expectations by line — is exactly what the cccheck
+// fixtures need.
+package checktest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture package in dir, applies the analyzer flags,
+// runs a, and checks its diagnostics against the fixture's want
+// comments. Flags are restored to their previous values afterwards so
+// fixture runs do not leak configuration into each other.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, flags map[string]string) {
+	t.Helper()
+
+	restore := setFlags(t, a, flags)
+	defer restore()
+
+	fset := token.NewFileSet()
+	files, src := parseDir(t, fset, dir)
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkgName := files[0].Name.Name
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]interface{}{
+			inspect.Analyzer: inspector.New(files),
+		},
+		Report:   func(d analysis.Diagnostic) { got = append(got, d) },
+		ReadFile: os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, dir, err)
+	}
+
+	check(t, a.Name, fset, src, got)
+}
+
+// setFlags applies the flag overrides and returns a restorer.
+func setFlags(t *testing.T, a *analysis.Analyzer, flags map[string]string) func() {
+	t.Helper()
+	prev := map[string]string{}
+	for k, v := range flags {
+		f := a.Flags.Lookup(k)
+		if f == nil {
+			t.Fatalf("%s: no flag %q", a.Name, k)
+		}
+		prev[k] = f.Value.String()
+		if err := f.Value.Set(v); err != nil {
+			t.Fatalf("%s: set -%s=%s: %v", a.Name, k, v, err)
+		}
+	}
+	return func() {
+		for k, v := range prev {
+			a.Flags.Lookup(k).Value.Set(v)
+		}
+	}
+}
+
+// parseDir parses every .go file in dir (sorted for stable file order)
+// and returns the ASTs plus raw sources keyed by filename.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, map[string][]byte) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, data, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		src[name] = data
+	}
+	return files, src
+}
+
+// check matches diagnostics against want expectations line by line.
+func check(t *testing.T, name string, fset *token.FileSet, src map[string][]byte, got []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for file, data := range src {
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range splitQuoted(t, file, i+1, m[1]) {
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", file, i+1, q, err)
+				}
+				wants[key{file, i + 1}] = append(wants[key{file, i + 1}], re)
+			}
+		}
+	}
+
+	matched := map[key][]bool{}
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		res := wants[k]
+		if res == nil {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, pos.Filename, pos.Line, d.Message)
+			continue
+		}
+		if matched[k] == nil {
+			matched[k] = make([]bool, len(res))
+		}
+		found := false
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: diagnostic at %s:%d matched no want pattern: %s", name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none", name, re, k.file, k.line)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted or backquoted segments of a
+// want comment tail.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			break // trailing non-quoted text (e.g. explanatory prose)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern: %s", file, line, s)
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			u, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, raw, err)
+			}
+			out = append(out, u)
+		} else {
+			out = append(out, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted pattern", file, line)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package checks
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// StatsComplete closes the escape hatch a new counter would otherwise
+// have: every field of cpu.Stats must appear in the marked invariant
+// sites, so adding a counter without extending the cycle-accounting
+// oracle or the equivalence battery is a compile-gate failure, not a
+// silent coverage gap.
+//
+// Two obligations:
+//
+//  1. In the defining package, every Stats field must be an exported,
+//     flat value type (integers, booleans, arrays/structs of such).
+//     Reference types would make the whole-struct `!=` comparisons in
+//     the bit-identity proofs shallow and therefore meaningless.
+//
+//  2. Every function marked `//cccheck:stats(sum)` or
+//     `//cccheck:stats(compare)` must cover all Stats fields: either a
+//     whole-struct comparison (which covers everything at once) or a
+//     per-field mention of each one. A field the marked site never
+//     touches is reported by name.
+var StatsComplete = &analysis.Analyzer{
+	Name:     "statscomplete",
+	Doc:      "prove every cpu.Stats field is covered by the marked sum-invariant and equivalence-comparison sites",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runStatsComplete,
+}
+
+func init() {
+	StatsComplete.Flags.Init("statscomplete", flag.ExitOnError)
+	StatsComplete.Flags.String("type", "repro/internal/cpu.Stats",
+		"fully qualified stats struct (pkgpath.TypeName) the completeness proof is about")
+}
+
+var statsMarkRe = regexp.MustCompile(`^//cccheck:stats\((sum|compare)\)\s*(.*)$`)
+
+// statsMark returns the directive kind on a function's doc comment, or
+// "".
+func statsMark(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	for _, c := range fd.Doc.List {
+		if m := statsMarkRe.FindStringSubmatch(c.Text); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// resolveStats finds the named stats struct from the analyzed package's
+// view: its own scope if it is the defining package, otherwise the
+// transitive import graph (a stats alias re-exported through the root
+// package still resolves to the defining type).
+func resolveStats(pkg *types.Package, pkgPath, typeName string) (*types.Named, *types.Struct) {
+	lookup := func(p *types.Package) (*types.Named, *types.Struct) {
+		obj := p.Scope().Lookup(typeName)
+		if obj == nil {
+			return nil, nil
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return nil, nil
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return nil, nil
+		}
+		return named, st
+	}
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Package
+	find = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == pkgPath {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	if found := find(pkg); found != nil {
+		return lookup(found)
+	}
+	return nil, nil
+}
+
+// flatType reports whether t has pure value semantics — comparing two
+// values compares every bit of simulator state they carry.
+func flatType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsBoolean|types.IsFloat|types.IsString) != 0
+	case *types.Array:
+		return flatType(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !flatType(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func runStatsComplete(pass *analysis.Pass) (interface{}, error) {
+	full := pass.Analyzer.Flags.Lookup("type").Value.String()
+	dot := strings.LastIndex(full, ".")
+	if dot < 0 {
+		return nil, fmt.Errorf("statscomplete: bad -type %q", full)
+	}
+	pkgPath, typeName := full[:dot], full[dot+1:]
+
+	named, st := resolveStats(pass.Pkg, pkgPath, typeName)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Obligation 1: in the defining package, the struct itself.
+	if named != nil && pass.Pkg.Path() == pkgPath {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				pass.Reportf(f.Pos(), "%s field %s is unexported: the equivalence battery compares %s across packages, so every counter must be visible", typeName, f.Name(), typeName)
+			}
+			if !flatType(f.Type()) {
+				pass.Reportf(f.Pos(), "%s field %s has reference type %s: whole-struct bit-identity comparisons would be shallow", typeName, f.Name(), f.Type())
+			}
+		}
+	}
+
+	// Obligation 2: marked functions cover every field.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		kind := statsMark(fd)
+		if kind == "" || fd.Body == nil {
+			return
+		}
+		if named == nil {
+			pass.Reportf(fd.Pos(), "//cccheck:stats(%s) on %s but %s is not visible from package %s", kind, fd.Name.Name, full, pass.Pkg.Path())
+			return
+		}
+		covered := map[string]bool{}
+		whole := false
+		isStats := func(e ast.Expr) bool {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok {
+				return false
+			}
+			t := tv.Type
+			if p, okp := t.(*types.Pointer); okp {
+				t = p.Elem()
+			}
+			nn, okn := t.(*types.Named)
+			return okn && nn.Obj() == named.Obj()
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if isStats(n.X) {
+					covered[n.Sel.Name] = true
+				}
+			case *ast.BinaryExpr:
+				// A whole-struct == / != covers every field at once.
+				if (n.Op.String() == "==" || n.Op.String() == "!=") && (isStats(n.X) || isStats(n.Y)) {
+					whole = true
+				}
+			case *ast.CompositeLit:
+				if isStats(n) {
+					for _, el := range n.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								covered[id.Name] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if whole {
+			return
+		}
+		var missing []string
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); !covered[f.Name()] {
+				missing = append(missing, f.Name())
+			}
+		}
+		sort.Strings(missing)
+		if len(missing) > 0 {
+			pass.Reportf(fd.Pos(), "stats(%s) site %s does not cover %s field(s) %s: a counter outside this site silently escapes the bit-identity proofs", kind, fd.Name.Name, typeName, strings.Join(missing, ", "))
+		}
+	})
+	return nil, nil
+}

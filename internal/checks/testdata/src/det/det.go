@@ -1,0 +1,72 @@
+// Package det is the detsafe fixture: the deterministic-package
+// contract, one violation and one sanctioned form per rule.
+package det
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv in deterministic package`
+}
+
+func unseeded() int {
+	return rand.Intn(10) // want `unseeded global source`
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `unseeded global source`
+}
+
+// seeded derives randomness from an explicit seed: reproducible, allowed.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// allowedClock carries an annotation: suppressed, but only with a reason.
+func allowedClock() int64 {
+	//cccheck:allow(det) fixture: host-axis timing example
+	return time.Now().UnixNano()
+}
+
+func badAnnotation() int64 {
+	//cccheck:allow(det)
+	return time.Now().UnixNano() // want `time.Now in deterministic package` `without a reason`
+}
+
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration drives`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// emitSorted is the sanctioned idiom: collect keys, sort, then emit.
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// aggregate is order-insensitive map work: allowed.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

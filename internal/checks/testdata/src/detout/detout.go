@@ -1,0 +1,17 @@
+// Package detout is outside the deterministic set: the same calls that
+// detsafe flags in package det must stay quiet here (CLIs may read
+// clocks and environments for UX).
+package detout
+
+import (
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+func env() string {
+	return os.Getenv("HOME")
+}

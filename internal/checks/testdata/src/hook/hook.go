@@ -1,0 +1,106 @@
+// Package hook is the hookguard fixture: every guard idiom the
+// analyzer accepts and every unguarded shape it must flag.
+package hook
+
+// Sink is hook-shaped only through the field names below.
+type Sink interface{ Event(x int) }
+
+// Observer matches the hook-type set by name, whatever the field is
+// called.
+type Observer interface{ CacheMiss(set int) }
+
+type Machine struct {
+	Tel     Sink                    // hook by field name
+	Custom  Observer                // hook by interface name
+	OnBurst func(bytes, cycles int) // hook by field name (func-typed)
+	plain   func()                  // not a hook: unguarded calls are fine
+}
+
+func (m *Machine) bad() {
+	m.Tel.Event(1)        // want `not dominated by a nil check`
+	m.OnBurst(4, 2)       // want `not dominated by a nil check`
+	m.Custom.CacheMiss(0) // want `not dominated by a nil check`
+	m.plain()
+}
+
+func (m *Machine) guarded() {
+	if m.Tel != nil {
+		m.Tel.Event(1)
+	}
+	if m.OnBurst != nil {
+		m.OnBurst(4, 2)
+	}
+	if m.Custom != nil {
+		m.Custom.CacheMiss(3)
+	}
+}
+
+func (m *Machine) conjunction(on bool) {
+	if on && m.OnBurst != nil {
+		m.OnBurst(8, 1)
+	}
+}
+
+func (m *Machine) earlyExit() {
+	if m.OnBurst == nil {
+		return
+	}
+	m.OnBurst(8, 3)
+}
+
+func (m *Machine) disjunctExit() {
+	if m.Tel == nil || m.OnBurst == nil {
+		return
+	}
+	m.Tel.Event(9)
+	m.OnBurst(1, 1)
+}
+
+func (m *Machine) alias() {
+	f := m.OnBurst
+	if f != nil {
+		f(1, 1)
+	}
+	s := m.Tel
+	if s != nil {
+		s.Event(5)
+	}
+}
+
+func (m *Machine) aliasBad() {
+	f := m.OnBurst
+	f(1, 1) // want `not dominated by a nil check`
+}
+
+func (m *Machine) invalidated() {
+	if m.OnBurst != nil {
+		m.OnBurst = nil
+		m.OnBurst(2, 2) // want `not dominated by a nil check`
+	}
+}
+
+// wrongSelector: checking one hook does not license calling another.
+func (m *Machine) wrongSelector() {
+	if m.Tel != nil {
+		m.OnBurst(3, 3) // want `not dominated by a nil check`
+	}
+}
+
+func (m *Machine) switchGuard() {
+	switch {
+	case m.OnBurst != nil:
+		m.OnBurst(6, 6)
+	}
+}
+
+func (m *Machine) closureInherits() {
+	if m.Tel != nil {
+		run(func() { m.Tel.Event(7) })
+	}
+}
+
+func (m *Machine) allowed() {
+	m.Tel.Event(2) //cccheck:allow(hook) fixture: intentional direct call
+}
+
+func run(f func()) { f() }

@@ -1,0 +1,18 @@
+// Package parallelown stands in for internal/parallel itself: the one
+// package allowed to own goroutines and WaitGroups. Run with
+// -poolonly.pkg=parallelown, nothing here may be flagged.
+package parallelown
+
+import "sync"
+
+func pool(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

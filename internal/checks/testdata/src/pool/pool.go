@@ -1,0 +1,32 @@
+// Package pool is the poolonly fixture: ad-hoc concurrency outside the
+// ordered pool, plus the annotated infrastructure escape.
+package pool
+
+import "sync"
+
+func rawGo() {
+	go work() // want `raw go statement`
+}
+
+func handRolled() {
+	var wg sync.WaitGroup // want `hand-rolled sync.WaitGroup`
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // want `raw go statement`
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+type runner struct {
+	wg sync.WaitGroup // want `hand-rolled sync.WaitGroup`
+}
+
+func allowedGo() {
+	//cccheck:allow(pool) fixture: infrastructure goroutine never observed by output
+	go work()
+}
+
+func work() {}

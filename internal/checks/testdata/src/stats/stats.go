@@ -1,0 +1,40 @@
+// Package stats is the statscomplete fixture: marked sites that cover
+// the struct (whole-struct compare or every field) and marked sites
+// with holes.
+package stats
+
+type Stats struct {
+	Cycles   uint64
+	Instrs   uint64
+	ExcTotal uint64
+	CPIStack [3]uint64
+}
+
+// sumOK mentions every field.
+//
+//cccheck:stats(sum)
+func sumOK(s Stats) uint64 {
+	return s.Cycles + s.Instrs + s.ExcTotal + s.CPIStack[0]
+}
+
+// sumMissing never touches ExcTotal or Instrs.
+//
+//cccheck:stats(sum)
+func sumMissing(s Stats) uint64 { // want `does not cover Stats field\(s\) ExcTotal, Instrs`
+	return s.Cycles + s.CPIStack[1]
+}
+
+// compareWhole covers everything through one struct comparison.
+//
+//cccheck:stats(compare)
+func compareWhole(a, b Stats) bool { return a == b }
+
+// compareFields compares selectively: the uncompared counters escape.
+//
+//cccheck:stats(compare)
+func compareFields(a, b Stats) bool { // want `does not cover Stats field\(s\) CPIStack, ExcTotal`
+	return a.Cycles == b.Cycles && a.Instrs == b.Instrs
+}
+
+// unmarked functions owe nothing.
+func unmarked(s Stats) uint64 { return s.Cycles }

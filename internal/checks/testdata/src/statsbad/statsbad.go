@@ -1,0 +1,10 @@
+// Package statsbad is the obligation-1 fixture: a stats struct whose
+// shape already breaks the bit-identity proofs — reference-typed and
+// unexported counters.
+package statsbad
+
+type Stats struct {
+	Cycles  uint64
+	Samples []uint64 // want `reference type`
+	hidden  uint64   // want `unexported`
+}

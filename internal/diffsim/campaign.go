@@ -85,6 +85,7 @@ func checkWithTimeout(p *synth.RandProgram, opts Options, d time.Duration) (*Fai
 		err error
 	}
 	ch := make(chan out, 1)
+	//cccheck:allow(pool) timeout watchdog: the abandoned case is skipped deterministically, its goroutine's result discarded
 	go func() {
 		f, err := Check(p, opts)
 		ch <- out{f, err}

@@ -97,6 +97,11 @@ func (o *oracle) checkSwic(img int, c *cpu.CPU, pc, instr uint32, handler bool) 
 // checkFinal validates the statistics and final state of a clean run.
 // It returns a failure reason and the offending image index (-1 for a
 // cross-image property), or ("", 0) when every invariant holds.
+// This function is the cycle-accounting sum invariant: statscomplete
+// proves it touches every cpu.Stats counter, so a new counter must be
+// wired into an oracle check before cccheck passes again.
+//
+//cccheck:stats(sum)
 func (o *oracle) checkFinal(results []*verify.MultiResult, cfg cpu.Config) (string, int) {
 	ref := results[0]
 	for i, r := range results {
@@ -119,6 +124,22 @@ func (o *oracle) checkFinal(results []*verify.MultiResult, cfg cpu.Config) (stri
 		// The telemetry CPI stack must agree with the same total.
 		if err := s.CPIStack.Check(s.Cycles); err != nil {
 			return err.Error(), i
+		}
+		// Exception-latency self-consistency: the latency accumulators
+		// must agree with the exception count — no exceptions means no
+		// service time, and the maximum single service can neither
+		// exceed the total nor be absent while a total is recorded.
+		if s.Exceptions == 0 && (s.ExcCyclesTotal != 0 || s.ExcCyclesMax != 0) {
+			return fmt.Sprintf("no exceptions but exc latency total %d / max %d recorded",
+				s.ExcCyclesTotal, s.ExcCyclesMax), i
+		}
+		if s.ExcCyclesMax > s.ExcCyclesTotal {
+			return fmt.Sprintf("exc latency max %d exceeds total %d",
+				s.ExcCyclesMax, s.ExcCyclesTotal), i
+		}
+		if s.Exceptions > 0 && s.ExcCyclesTotal > s.Exceptions*s.ExcCyclesMax {
+			return fmt.Sprintf("exc latency total %d > %d exceptions x max %d",
+				s.ExcCyclesTotal, s.Exceptions, s.ExcCyclesMax), i
 		}
 		// Cache/exception self-consistency.
 		ic := r.CPU.IC.Stats

@@ -53,6 +53,13 @@ type item[T any] struct {
 	idx int
 	val T
 	err error
+	pan *panicked
+}
+
+// panicked captures a compute panic on a worker goroutine so it can be
+// re-raised deterministically on the calling goroutine.
+type panicked struct {
+	val any
 }
 
 // ForEachOrdered computes fn(0..n-1) on `workers` goroutines (<= 0 =
@@ -66,6 +73,13 @@ type item[T any] struct {
 // returns nil. Any other deliver error cancels the same way and is
 // returned. compute errors are passed to deliver, which decides
 // whether they stop the run.
+//
+// A panic in compute propagates to the calling goroutine with the
+// same determinism contract as everything else: deliveries form the
+// exact prefix below the lowest panicking index, then the original
+// panic value is re-raised — identical behaviour for every worker
+// count. A panic in deliver propagates immediately (deliver already
+// runs on the calling goroutine).
 func ForEachOrdered[T any](workers, n int, compute func(i int) (T, error), deliver func(i int, v T, err error) error) error {
 	if n <= 0 {
 		return nil
@@ -103,8 +117,7 @@ func ForEachOrdered[T any](workers, n int, compute func(i int) (T, error), deliv
 					results <- item[T]{idx: i, val: zero, err: ErrStop}
 					continue
 				}
-				v, err := compute(i)
-				results <- item[T]{idx: i, val: v, err: err}
+				results <- runCompute(compute, i)
 			}
 		}()
 	}
@@ -123,6 +136,7 @@ func ForEachOrdered[T any](workers, n int, compute func(i int) (T, error), deliv
 	pending := make(map[int]item[T], w)
 	next := 0
 	var firstErr error
+	var firstPan *panicked
 	for it := range results {
 		pending[it.idx] = it
 		for {
@@ -135,6 +149,18 @@ func ForEachOrdered[T any](workers, n int, compute func(i int) (T, error), deliv
 			if stopped.Load() || errors.Is(cur.err, ErrStop) {
 				continue // draining after cancellation
 			}
+			if cur.pan != nil {
+				// In-order processing makes the first panic seen the
+				// lowest-index one; deliveries cease here and the
+				// panic re-raises after the pool drains.
+				if firstPan == nil {
+					firstPan = cur.pan
+				}
+				continue
+			}
+			if firstPan != nil {
+				continue // no deliveries past a panicking index
+			}
 			if derr := deliver(cur.idx, cur.val, cur.err); derr != nil {
 				stopped.Store(true)
 				if !errors.Is(derr, ErrStop) && firstErr == nil {
@@ -143,7 +169,22 @@ func ForEachOrdered[T any](workers, n int, compute func(i int) (T, error), deliv
 			}
 		}
 	}
+	if firstPan != nil {
+		panic(firstPan.val)
+	}
 	return firstErr
+}
+
+// runCompute invokes compute(i), converting a panic into an item the
+// coordinator can re-raise in index order.
+func runCompute[T any](compute func(i int) (T, error), i int) (it item[T]) {
+	defer func() {
+		if p := recover(); p != nil {
+			it = item[T]{idx: i, pan: &panicked{val: p}}
+		}
+	}()
+	v, err := compute(i)
+	return item[T]{idx: i, val: v, err: err}
 }
 
 // Map computes fn(0..n-1) on `workers` goroutines (<= 0 = GOMAXPROCS)

@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEdgeZeroItems: an empty index range is a no-op for both
+// primitives — no compute, no deliver, no goroutines, nil error, and
+// Map returns an empty (non-nil semantics irrelevant) slice.
+func TestEdgeZeroItems(t *testing.T) {
+	for _, workers := range []int{-1, 1, 4} {
+		err := ForEachOrdered(workers, 0,
+			func(i int) (int, error) { t.Error("compute called"); return 0, nil },
+			func(i int, v int, err error) error { t.Error("deliver called"); return nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out, err := Map(workers, 0, func(i int) (int, error) {
+			t.Error("compute called")
+			return 0, nil
+		})
+		if err != nil || len(out) != 0 {
+			t.Fatalf("workers=%d: Map over 0 items = (%v, %v)", workers, out, err)
+		}
+	}
+}
+
+// TestEdgeWorkersExceedItems: asking for far more workers than items
+// must clamp rather than spin up idle goroutines, and the ordered
+// contract must hold unchanged.
+func TestEdgeWorkersExceedItems(t *testing.T) {
+	const n = 3
+	if got := Workers(64, n); got != n {
+		t.Fatalf("Workers(64, %d) = %d, want %d", n, got, n)
+	}
+	var delivered []int
+	err := ForEachOrdered(64, n,
+		func(i int) (int, error) { jitter(i); return i * 10, nil },
+		func(i int, v int, err error) error {
+			if err != nil || v != i*10 {
+				return fmt.Errorf("index %d: (%d, %v)", i, v, err)
+			}
+			delivered = append(delivered, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != n {
+		t.Fatalf("delivered %v, want 0..%d", delivered, n-1)
+	}
+	for want, got := range delivered {
+		if got != want {
+			t.Fatalf("delivered %v out of order", delivered)
+		}
+	}
+}
+
+// TestEdgeWorkersOneEquivalence: the serial fast path and the pooled
+// path must be observationally identical — same values, same delivery
+// order, same error — so workers=1 is the reference semantics every
+// other worker count is measured against.
+func TestEdgeWorkersOneEquivalence(t *testing.T) {
+	const n = 40
+	run := func(workers int) (vals []int, order []int, err error) {
+		err = ForEachOrdered(workers, n,
+			func(i int) (int, error) {
+				jitter(i)
+				if i%13 == 7 {
+					return 0, fmt.Errorf("compute@%d", i)
+				}
+				return i*3 + 1, nil
+			},
+			func(i int, v int, cerr error) error {
+				order = append(order, i)
+				if cerr != nil {
+					vals = append(vals, -1)
+					return nil
+				}
+				vals = append(vals, v)
+				return nil
+			})
+		return vals, order, err
+	}
+	refVals, refOrder, refErr := run(1)
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		vals, order, err := run(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(vals) != len(refVals) || len(order) != len(refOrder) {
+			t.Fatalf("workers=%d: %d deliveries, serial made %d", workers, len(order), len(refOrder))
+		}
+		for k := range refVals {
+			if vals[k] != refVals[k] || order[k] != refOrder[k] {
+				t.Fatalf("workers=%d: delivery %d = (idx %d, val %d), serial (idx %d, val %d)",
+					workers, k, order[k], vals[k], refOrder[k], refVals[k])
+			}
+		}
+	}
+}
+
+// TestEdgePanicPropagation: a panic in a worker's compute must not
+// kill the process; it re-raises on the calling goroutine with the
+// original panic value, after delivering exactly the prefix below the
+// panicking index — the same observable behaviour for every worker
+// count, serial fast path included.
+func TestEdgePanicPropagation(t *testing.T) {
+	const n, panicAt = 24, 9
+	for _, workers := range []int{1, 4, n} {
+		var delivered []int
+		got := func() (p any) {
+			defer func() { p = recover() }()
+			ForEachOrdered(workers, n,
+				func(i int) (int, error) {
+					jitter(i)
+					if i == panicAt {
+						panic(fmt.Sprintf("compute exploded at %d", i))
+					}
+					return i, nil
+				},
+				func(i int, v int, err error) error {
+					delivered = append(delivered, i)
+					return nil
+				})
+			return nil
+		}()
+		want := fmt.Sprintf("compute exploded at %d", panicAt)
+		if got != want {
+			t.Fatalf("workers=%d: recovered %v, want %q", workers, got, want)
+		}
+		if len(delivered) != panicAt {
+			t.Fatalf("workers=%d: delivered %v, want exactly 0..%d", workers, delivered, panicAt-1)
+		}
+		for k, idx := range delivered {
+			if idx != k {
+				t.Fatalf("workers=%d: delivered %v out of order", workers, delivered)
+			}
+		}
+	}
+}
+
+// TestEdgePanicLowestIndexWins: when several computes panic, the one
+// re-raised is the lowest-index one regardless of which worker hit it
+// first — the panic analogue of Map's lowest-index error rule.
+func TestEdgePanicLowestIndexWins(t *testing.T) {
+	const n = 30
+	for _, workers := range []int{2, 8} {
+		var computed atomic.Int32
+		got := func() (p any) {
+			defer func() { p = recover() }()
+			ForEachOrdered(workers, n,
+				func(i int) (int, error) {
+					computed.Add(1)
+					jitter(n - i) // later indices finish first
+					if i == 5 || i == 21 {
+						panic(fmt.Sprintf("panic@%d", i))
+					}
+					return i, nil
+				},
+				func(i int, v int, err error) error { return nil })
+			return nil
+		}()
+		if got != "panic@5" {
+			t.Fatalf("workers=%d: recovered %v, want panic@5", workers, got)
+		}
+		if computed.Load() != n {
+			t.Fatalf("workers=%d: computed %d of %d before re-raise", workers, computed.Load(), n)
+		}
+	}
+}

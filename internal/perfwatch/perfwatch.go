@@ -171,6 +171,7 @@ func (r *Runner) RunWorkload(w Workload) (Sample, error) {
 	var ms0, ms1 runtime.MemStats
 	for rep := 0; rep < r.Reps; rep++ {
 		runtime.ReadMemStats(&ms0)
+		//cccheck:allow(det) host axis: wall-clock measurement is the point of this timer
 		start := time.Now()
 		stats, err := r.suite.MeasureRun(w.Bench, opts, w.CacheKB)
 		wall := time.Since(start)
@@ -212,6 +213,7 @@ func (r *Runner) Run(fp Fingerprint, only []string) (Entry, error) {
 		}
 		workloads = filtered
 	}
+	//cccheck:allow(det) trajectory metadata: entries are stamped with host wall time, never compared bit-for-bit
 	entry := Entry{Time: time.Now().UTC().Format(time.RFC3339), Fingerprint: fp}
 	total := len(workloads)
 	err := parallel.ForEachOrdered(r.Workers, total,
