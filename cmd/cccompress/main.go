@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cccompress: ")
 	var (
-		scheme = flag.String("scheme", "dict", "compression scheme: dict, codepack, copy")
+		scheme = flag.String("scheme", "dict", "compression scheme: "+strings.Join(core.Schemes(), ", "))
 		rf     = flag.Bool("rf", false, "use the second (shadow) register file")
 		bits   = flag.Int("bits", 16, "dictionary index width (8 or 16)")
 		native = flag.String("native", "", "comma-separated procedures to keep as native code")

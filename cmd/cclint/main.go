@@ -8,7 +8,7 @@
 //	cclint prog.img prog.cc.img       # lint saved images
 //	cclint -synth all                 # lint every synthetic benchmark, native
 //	cclint -synth cc1 -scheme dict    # compress first, lint both images
-//	cclint -handlers                  # lint every shipped handler variant
+//	cclint -handlers                  # lint every registered codec's handler
 //
 // Exit status is 1 when any warning-or-worse finding is reported (or
 // on build/load errors), 2 on usage errors.
@@ -19,9 +19,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/codec"
+	_ "repro/internal/codec/all"
 	"repro/internal/compress/dict"
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -31,10 +34,10 @@ import (
 
 var (
 	synthName = flag.String("synth", "", "lint a synthetic benchmark by name (or 'all')")
-	scheme    = flag.String("scheme", "", "compress the synth program first: dict, codepack, procdict, copy")
+	scheme    = flag.String("scheme", "", "compress the synth program first: "+strings.Join(core.Schemes(), ", "))
 	shadowRF  = flag.Bool("rf", false, "use the shadow register file with -scheme")
 	bits      = flag.Int("bits", 16, "dictionary index width with -scheme dict (8 or 16)")
-	handlers  = flag.Bool("handlers", false, "lint every shipped decompression handler variant")
+	handlers  = flag.Bool("handlers", false, "lint every registered codec's handler, both register-file variants")
 	info      = flag.Bool("info", false, "also print info-level findings")
 	timing    = flag.Bool("time", false, "report analyzer wall-clock per image")
 )
@@ -131,25 +134,40 @@ func lintSynth(name string) bool {
 	return dirty
 }
 
-// lintHandlers runs the handler rules on every shipped variant.
+// lintHandlers runs the handler rules on every registered codec's
+// handler, in both register-file variants.
 func lintHandlers() bool {
 	dirty := false
-	for _, v := range decomp.Variants() {
-		seg, err := decomp.Build(v)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep := &analysis.Report{}
-		analysis.AnalyzeHandlerSegment(seg, analysis.HandlerInfo{Name: v.String(), ShadowRF: v.ShadowRF}, rep)
-		rep.Sort()
-		for _, f := range rep.AtLeast(analysis.Warning) {
-			fmt.Printf("handler %s: %s\n", v, f)
-		}
-		if n := rep.Count(analysis.Warning); n > 0 {
-			fmt.Printf("handler %s: %d finding(s)\n", v, n)
-			dirty = true
-		} else {
-			fmt.Printf("handler %s: clean (%d bytes)\n", v, len(seg.Data))
+	for _, c := range codec.All() {
+		for _, rf := range []bool{false, true} {
+			name := c.Name()
+			if rf {
+				name += "+RF"
+			}
+			src, err := c.HandlerSource(rf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			seg, err := decomp.BuildSource(name, src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := &analysis.Report{}
+			analysis.AnalyzeHandlerSegment(seg, analysis.HandlerInfo{
+				Name:         name,
+				ShadowRF:     rf,
+				ScratchBytes: c.Geometry().ScratchBytes,
+			}, rep)
+			rep.Sort()
+			for _, f := range rep.AtLeast(analysis.Warning) {
+				fmt.Printf("handler %s: %s\n", name, f)
+			}
+			if n := rep.Count(analysis.Warning); n > 0 {
+				fmt.Printf("handler %s: %d finding(s)\n", name, n)
+				dirty = true
+			} else {
+				fmt.Printf("handler %s: clean (%d bytes)\n", name, len(seg.Data))
+			}
 		}
 	}
 	return dirty

@@ -27,6 +27,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/codec"
+	_ "repro/internal/codec/all"
 	"repro/internal/decomp"
 	"repro/internal/experiment"
 	"repro/internal/program"
@@ -147,17 +149,19 @@ func check(err error) {
 }
 
 func printHandlers() {
-	for _, v := range []decomp.Variant{
-		{Scheme: program.SchemeDict},
-		{Scheme: program.SchemeDict, ShadowRF: true},
-		{Scheme: program.SchemeCodePack},
-		{Scheme: program.SchemeProcDict, ShadowRF: true},
-	} {
-		src, err := decomp.Source(v)
-		check(err)
-		n, err := decomp.StaticInstrs(v)
-		check(err)
-		fmt.Printf("==== %v handler (%d instructions, %d bytes) ====\n%s\n", v, n, n*4, src)
+	for _, c := range codec.All() {
+		for _, rf := range []bool{false, true} {
+			name := c.Name()
+			if rf {
+				name += "+RF"
+			}
+			src, err := c.HandlerSource(rf)
+			check(err)
+			seg, err := decomp.BuildSource(name, src)
+			check(err)
+			n := len(seg.Data) / 4
+			fmt.Printf("==== %s handler (%d instructions, %d bytes) ====\n%s\n", name, n, n*4, src)
+		}
 	}
 }
 

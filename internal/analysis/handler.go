@@ -14,6 +14,13 @@ import (
 type HandlerInfo struct {
 	Name     string
 	ShadowRF bool // second register file: GPR writes are banked
+	// ScratchBytes is the size of the handler scratch RAM the codec
+	// declares at the base of the .dictionary segment ($c0_dict); 0
+	// means the codec has no scratch region and the dictionary is
+	// read-only data. Stores through a pointer provably derived from
+	// $c0_dict are part of the scratch discipline, not user-memory
+	// mutations (the conformance suite checks the dynamic bound).
+	ScratchBytes int
 }
 
 // AnalyzeHandlerSegment verifies the decompressor segment against the
@@ -34,7 +41,9 @@ type HandlerInfo struct {
 //     reserved for the OS and exempt). HI/LO are never banked — even the
 //     shadow-RF handlers may not use mult/div.
 //   - handler-store: stores may only target the red zone below the user
-//     $sp; anything else mutates user-visible memory.
+//     $sp or, when the codec declares scratch RAM, go through a pointer
+//     provably derived from the $c0_dict scratch base; anything else
+//     mutates user-visible memory.
 //   - handler-shadow-read: with the shadow register file the handler's
 //     GPRs hold stale values from the previous exception, so reading a
 //     register before writing it (liveness at entry) is a bug.
@@ -114,15 +123,21 @@ func AnalyzeHandlerSegment(seg *program.Segment, info HandlerInfo, rep *Report) 
 }
 
 // checkHandlerStores flags sb/sh/sw that can touch user-visible memory.
-// The only store discipline the analyzer can prove safe is the red zone:
-// negative offsets off the (unmodified) user $sp, as in Figure 2.
+// Two store disciplines are provable: the red zone (negative offsets off
+// the unmodified user $sp, as in Figure 2), and — when the codec
+// declares scratch RAM — stores through a pointer derived from the
+// $c0_dict scratch base. The derivation proof is the scratchTags
+// dataflow; the in-bounds proof is dynamic (conformance suite).
 func checkHandlerStores(g *CFG, reach []bool, info HandlerInfo, rep *Report) {
+	tags := scratchTags(g)
 	for i, b := range g.Blocks {
 		if !reach[i] {
 			continue
 		}
+		s := tags[i]
 		for _, in := range b.Instrs {
 			if in.Kind != isa.KindStore {
+				s = stepScratch(s, in.Word)
 				continue
 			}
 			base, off := isa.Rs(in.Word), isa.SImm(in.Word)
@@ -132,13 +147,89 @@ func checkHandlerStores(g *CFG, reach []bool, info HandlerInfo, rep *Report) {
 			case base == isa.RegSP:
 				rep.add(RuleHandlerStore, Error, in.PC, info.Name,
 					"store at %d($sp) overwrites the user's live stack", off)
+			case s.Has(base) && info.ScratchBytes > 0:
+				// Scratch-RAM write: derived from $c0_dict and declared.
+			case s.Has(base):
+				rep.add(RuleHandlerStore, Error, in.PC, info.Name,
+					"store through %s writes the .dictionary segment but the codec declares no scratch RAM",
+					isa.RegName(base))
 			default:
 				rep.add(RuleHandlerStore, Warning, in.PC, info.Name,
 					"store through %s: cannot prove it avoids user memory",
 					isa.RegName(base))
 			}
+			s = stepScratch(s, in.Word)
 		}
 	}
+}
+
+// stepScratch is the per-instruction transfer function of the
+// scratch-pointer dataflow: mfc0 from $c0_dict generates a tag, address
+// arithmetic (addu/or and their immediate forms, which covers the move
+// pseudo-op) propagates it, and any other definition kills it.
+func stepScratch(s RegSet, w isa.Word) RegSet {
+	kill := func(r int) {
+		if r >= 0 {
+			s &^= RegSet(0).Add(r)
+		}
+	}
+	switch {
+	case isa.Classify(w) == isa.KindCop0 && isa.Rs(w) == isa.CopMFC0:
+		if isa.Rd(w) == isa.C0Dict {
+			return s.Add(isa.Rt(w))
+		}
+		kill(isa.Rt(w))
+	case isa.Op(w) == isa.OpSpecial && (isa.Funct(w) == isa.FnADDU || isa.Funct(w) == isa.FnOR):
+		if s.Has(isa.Rs(w)) || s.Has(isa.Rt(w)) {
+			return s.Add(isa.Rd(w))
+		}
+		kill(isa.Rd(w))
+	case isa.Op(w) == isa.OpADDIU || isa.Op(w) == isa.OpORI:
+		if s.Has(isa.Rs(w)) {
+			return s.Add(isa.Rt(w))
+		}
+		kill(isa.Rt(w))
+	default:
+		for _, r := range DefSet(w).Regs() {
+			kill(r)
+		}
+	}
+	return s
+}
+
+// scratchTags computes, per block entry, the registers provably holding
+// a pointer derived from the $c0_dict scratch base: a forward dataflow
+// with intersection at merge points (a register is scratch-derived only
+// if it is on every incoming path).
+func scratchTags(g *CFG) []RegSet {
+	n := len(g.Blocks)
+	in := make([]RegSet, n)
+	have := make([]bool, n)
+	have[0] = true
+	rpo := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, i := range rpo {
+			if !have[i] {
+				continue
+			}
+			s := in[i]
+			for _, instr := range g.Blocks[i].Instrs {
+				s = stepScratch(s, instr.Word)
+			}
+			for _, succ := range g.Blocks[i].Succs {
+				ns := s
+				if have[succ] {
+					ns = in[succ] & s
+				}
+				if !have[succ] || ns != in[succ] {
+					in[succ], have[succ] = ns, true
+					changed = true
+				}
+			}
+		}
+	}
+	return in
 }
 
 // regState is the abstract per-register value for the clobber proof.

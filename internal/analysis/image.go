@@ -1,7 +1,12 @@
 package analysis
 
 import (
-	"repro/internal/decomp"
+	"repro/internal/codec"
+	// Image analysis resolves schemes through the codec registry (for
+	// geometry and scratch-RAM declarations), so every analyzer binary
+	// must see the full registry — not just the builtins — or images of
+	// registered non-builtin codecs are reported as unregistered.
+	_ "repro/internal/codec/all"
 	"repro/internal/isa"
 	"repro/internal/program"
 )
@@ -27,6 +32,9 @@ func AnalyzeImage(im *program.Image) *Report {
 		info := HandlerInfo{Name: program.SegDecompressor, ShadowRF: false}
 		if im.Compress != nil {
 			info.ShadowRF = im.Compress.ShadowRF
+			if c, err := codec.Lookup(string(im.Compress.Scheme)); err == nil {
+				info.ScratchBytes = c.Geometry().ScratchBytes
+			}
 		}
 		AnalyzeHandlerSegment(h, info, a.rep)
 	}
@@ -48,11 +56,17 @@ type analyzer struct {
 
 // fillBytes returns the decompression-line granularity of the image, or
 // 0 when it has no fixed line (native images, procedure granularity).
+// The scheme's registered codec declares it; an unregistered scheme is
+// reported by geometry(), so 0 (no line check) is the right fallback.
 func (a *analyzer) fillBytes() uint32 {
 	if a.im.Compress == nil {
 		return 0
 	}
-	return uint32(decomp.FillBytes(a.im.Compress.Scheme))
+	c, err := codec.Lookup(string(a.im.Compress.Scheme))
+	if err != nil {
+		return 0
+	}
+	return uint32(c.Geometry().FillBytes)
 }
 
 // geometry cross-checks CompressionInfo against the segments: the
@@ -91,11 +105,15 @@ func (a *analyzer) geometry() {
 			add("%s base register %#x does not match segment base %#x", name, base, seg.Base)
 		}
 	}
+	c, err := codec.Lookup(string(ci.Scheme))
+	if err != nil {
+		add("image compressed with unregistered scheme: %v", err)
+		return
+	}
+	geo := c.Geometry()
 	checkBase(program.SegDict, ci.DictBase, true)
-	needsIdx := ci.Scheme != "copy"
-	needsLAT := ci.Scheme == program.SchemeCodePack || ci.Scheme == program.SchemeProcDict
-	checkBase(program.SegIndices, ci.IndicesBase, needsIdx)
-	checkBase(program.SegLAT, ci.LATBase, needsLAT)
+	checkBase(program.SegIndices, ci.IndicesBase, geo.NeedsIndices)
+	checkBase(program.SegLAT, ci.LATBase, geo.NeedsLAT)
 	if a.im.Segment(program.SegDecompressor) == nil {
 		add("compressed image has no %s segment", program.SegDecompressor)
 	}

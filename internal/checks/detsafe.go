@@ -21,7 +21,7 @@ const defaultDetPkgs = "repro," +
 	"internal/telemetry,internal/experiment,internal/perfwatch," +
 	"internal/core,internal/verify,internal/selective,internal/placement," +
 	"internal/compress,internal/synth,internal/trace,internal/parallel," +
-	"internal/asm,internal/minic,internal/analysis"
+	"internal/asm,internal/minic,internal/analysis,internal/codec"
 
 // DetSafe reports sources of run-to-run nondeterminism inside the
 // deterministic packages: time.Now, environment reads, the unseeded

@@ -1,0 +1,11 @@
+// Package all registers every shipped codec by importing the packages
+// that contain them. The built-ins (dict, dict8, codepack, procdict,
+// copy) register from the codec package itself; codecs that live in
+// their own packages — added purely through the public Codec interface —
+// are blank-imported here so every binary that compresses images links
+// the full scheme set.
+package all
+
+import (
+	_ "repro/internal/codec/lz" // sliding-window LZ (LZRW1-style)
+)

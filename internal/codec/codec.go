@@ -1,0 +1,121 @@
+// Package codec defines the pluggable compression-scheme interface and
+// its central registry. A Codec bundles everything one compression
+// scheme contributes to the pipeline: the host-side encoder that turns
+// the relocated bytes of the compressed region into metadata segments,
+// a byte-level reference decoder (the round-trip oracle), the in-ISA
+// exception-handler source that materialises cache lines at run time,
+// the geometry the layout engine and static analyzer need, and a cost
+// model with the sanity bounds the conformance suite enforces.
+//
+// internal/core resolves schemes exclusively through this registry, so
+// a new scheme registered here flows into the experiment suite, the
+// diffsim fuzzer, the bench registry and every CLI without further
+// plumbing — provided it passes internal/codec/conformance, which runs
+// against every registered codec as part of `go test ./...`.
+package codec
+
+import "repro/internal/program"
+
+// Geometry declares the layout contract between a codec and the rest of
+// the pipeline: how the compressed region is padded, how much of it one
+// handler invocation fills, and which metadata segments the image must
+// carry (the static analyzer cross-checks CompressionInfo against it).
+type Geometry struct {
+	// Align is the byte multiple the compressed region is padded to
+	// (with nop words) before encoding. Must be a positive multiple of
+	// the instruction size.
+	Align int
+	// FillBytes is how many decompressed-region bytes one handler
+	// invocation materialises — the decompression-line size branch
+	// targets are checked against. 0 means no fixed line (procedure
+	// granularity).
+	FillBytes int
+	// NeedsIndices/NeedsLAT declare which metadata segments Encode
+	// emits; the analyzer requires the segments (and their published
+	// base registers) to match.
+	NeedsIndices bool
+	NeedsLAT     bool
+	// ScratchBytes reserves a handler scratch RAM: the first
+	// ScratchBytes bytes of the .dictionary segment are working memory
+	// for the decompressor (published to the handler via $c0_dict), not
+	// compressed data. The static analyzer extends its store discipline
+	// to pointers derived from that base, and the conformance suite
+	// confines every handler store to the red zone or this region at
+	// run time.
+	ScratchBytes int
+}
+
+// Input is what a codec encodes: the relocated golden bytes of the
+// compressed region plus the region geometry and the procedures placed
+// inside it (procedure-granularity codecs need their bounds).
+type Input struct {
+	// Golden holds the region's native instruction bytes, already
+	// relocated and padded to Geometry.Align.
+	Golden []byte
+	// RegionBase/RegionEnd delimit the virtual decompressed region.
+	RegionBase uint32
+	RegionEnd  uint32
+	// Procs is the rewritten image's full procedure table; entries with
+	// Addr >= RegionBase live in the compressed region.
+	Procs []program.Procedure
+}
+
+// Encoded is the compressed representation: up to three metadata
+// segments, placed by the layout engine at .dictionary, .indices and
+// .lat and published to the handler via $c0_dict/$c0_indices/$c0_lat.
+// A nil/empty slice means the codec does not use that segment.
+type Encoded struct {
+	Dict    []byte
+	Indices []byte
+	LAT     []byte
+}
+
+// CostModel summarises a scheme's run-time and size costs. The ratio
+// bounds are enforced by the conformance suite; the rest is
+// documentation the experiment tables can surface.
+type CostModel struct {
+	// FillReads is the number of extra metadata reads one fill performs
+	// beyond streaming the compressed representation itself (e.g. the
+	// CodePack LAT lookup).
+	FillReads int
+	// RatioMin/RatioMax bound Result.Ratio() (stored size / original
+	// size, Equation 1 of the paper) for a fully compressed image of a
+	// realistically sized program. Small programs pay fixed metadata
+	// overheads, so the bounds are sanity rails, not targets.
+	RatioMin float64
+	RatioMax float64
+}
+
+// Codec is one compression scheme. Implementations must be stateless
+// and deterministic: Encode on equal Input must yield byte-identical
+// Encoded output (the registry's determinism contract — registration
+// order never affects emitted images).
+type Codec interface {
+	// Name is the registry key and the Scheme recorded in
+	// program.CompressionInfo.
+	Name() string
+	// Describe returns a one-line human description.
+	Describe() string
+	// Geometry declares the layout contract (see Geometry).
+	Geometry() Geometry
+	// Encode compresses the region into its metadata segments.
+	Encode(in Input) (*Encoded, error)
+	// Decode is the byte-level reference decoder: it reconstructs size
+	// bytes of golden text from the serialised segments, exactly as the
+	// in-ISA handler would. Conformance requires Decode(Encode(x)) == x.
+	Decode(enc *Encoded, size int) ([]byte, error)
+	// HandlerSource returns the in-ISA decompression handler's assembly
+	// source for the given register-file configuration.
+	HandlerSource(shadowRF bool) (string, error)
+	// Cost returns the scheme's cost model.
+	Cost() CostModel
+}
+
+// Spiller is implemented by codecs whose representation can overflow on
+// large inputs (the paper's §3.1 dictionary-overflow fallback): Spill
+// reports how many trailing procedures of procs must be left native so
+// the remainder fits. text is the original .text segment the procedure
+// addresses index into.
+type Spiller interface {
+	Spill(text *program.Segment, procs []program.Procedure) int
+}

@@ -1,0 +1,91 @@
+package conformance
+
+import (
+	"strings"
+
+	"repro/internal/codec"
+)
+
+// Deliberately broken codecs: the suite's negative controls. Each wraps
+// the dictionary codec and violates exactly one clause of the codec
+// contract, and broken_test.go asserts the battery rejects it with the
+// matching diagnostic. The codecbroken build tag additionally registers
+// one of them globally so CI can prove the registry-wide conformance
+// test really fails when a bad codec ships (the same perturbation
+// pattern the bench gate and static-check jobs use).
+
+// mustDict returns the dictionary codec the broken wrappers corrupt.
+func mustDict() codec.Codec {
+	c, err := codec.Lookup("dict")
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BadRoundTripCodec flips one byte of the emitted dictionary, so the
+// image decodes to the wrong program: caught by round-trip (and, at
+// runtime, lockstep).
+func BadRoundTripCodec() codec.Codec { return badRoundTrip{mustDict()} }
+
+type badRoundTrip struct{ codec.Codec }
+
+func (c badRoundTrip) Name() string { return "broken-roundtrip" }
+
+func (c badRoundTrip) Encode(in codec.Input) (*codec.Encoded, error) {
+	enc, err := c.Codec.Encode(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(enc.Dict) > 40 {
+		enc.Dict[40] ^= 0x04
+	}
+	return enc, nil
+}
+
+// ClobberRegisterCodec ships a handler whose epilogue forgets to
+// restore $t4: caught statically by the handler-clobber proof (and, at
+// runtime, by lockstep divergence on $t4).
+func ClobberRegisterCodec() codec.Codec { return clobberRegister{mustDict()} }
+
+type clobberRegister struct{ codec.Codec }
+
+func (c clobberRegister) Name() string { return "broken-clobber" }
+
+func (c clobberRegister) HandlerSource(shadowRF bool) (string, error) {
+	src, err := c.Codec.HandlerSource(shadowRF)
+	if err != nil {
+		return "", err
+	}
+	// Drop the $t4 restore from the single-RF epilogue. The shadow-RF
+	// handler saves nothing, so it stays correct — the suite must catch
+	// the broken variant anyway.
+	return strings.Replace(src, "lw    $t4, -16($sp)\n", "", 1), nil
+}
+
+// BadGeometryCodec declares a line-address table it never emits: the
+// built image has no .lat segment while the scheme claims to need one —
+// caught by the image-invariants geometry cross-check.
+func BadGeometryCodec() codec.Codec { return badGeometry{mustDict()} }
+
+type badGeometry struct{ codec.Codec }
+
+func (c badGeometry) Name() string { return "broken-geometry" }
+
+func (c badGeometry) Geometry() codec.Geometry {
+	g := c.Codec.Geometry()
+	g.NeedsLAT = true
+	return g
+}
+
+// BadRatioCodec declares a fantasy compression ratio no dictionary
+// encoding achieves: caught by the ratio window check.
+func BadRatioCodec() codec.Codec { return badRatio{mustDict()} }
+
+type badRatio struct{ codec.Codec }
+
+func (c badRatio) Name() string { return "broken-ratio" }
+
+func (c badRatio) Cost() codec.CostModel {
+	return codec.CostModel{RatioMin: 0.001, RatioMax: 0.01}
+}

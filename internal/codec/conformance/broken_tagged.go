@@ -1,0 +1,14 @@
+//go:build codecbroken
+
+package conformance
+
+import "repro/internal/codec"
+
+// Building with -tags codecbroken registers a deliberately broken codec
+// in the default registry. CI's codec-conformance job runs the suite
+// once clean and once with this tag, asserting the tagged run FAILS —
+// the same perturbation self-test the bench gate and static-check jobs
+// use to prove the enforcement path actually enforces.
+func init() {
+	codec.Register(ClobberRegisterCodec())
+}

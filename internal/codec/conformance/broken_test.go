@@ -1,0 +1,86 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// smallConfig keeps the negative tests fast: one small program is
+// enough to trip every runtime check, plus the synthetic benchmark
+// when the ratio window is under test.
+func smallConfig(t *testing.T, withSynth bool) *Config {
+	t.Helper()
+	progs, err := DefaultPrograms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep []Program
+	for _, p := range progs {
+		if p.Name == "sieve.s" || (withSynth && p.Name == "pegwit-synth") {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == 0 {
+		t.Fatal("program set empty")
+	}
+	// A corrupted image can spin instead of halting; keep the cap low so
+	// the negative controls stay fast.
+	return &Config{Programs: keep, MaxInstr: 2_000_000}
+}
+
+// expectViolation asserts the battery rejects c with at least one
+// violation of the given check whose detail mentions want, and that the
+// corresponding healthy codec passes the same programs.
+func expectViolation(t *testing.T, c codec.Codec, cfg *Config, check, want string) {
+	t.Helper()
+	vs := Check(c, cfg)
+	if len(vs) == 0 {
+		t.Fatalf("%s: broken codec passed the conformance suite", c.Name())
+	}
+	for _, v := range vs {
+		if v.Check == check && strings.Contains(v.Detail, want) {
+			return
+		}
+	}
+	t.Fatalf("%s: no %q violation mentioning %q; got:\n%s",
+		c.Name(), check, want, violationList(vs))
+}
+
+func violationList(vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString("  " + v.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestBrokenRoundTripCaught(t *testing.T) {
+	expectViolation(t, BadRoundTripCodec(), smallConfig(t, false),
+		"round-trip", "diverges from golden")
+}
+
+func TestBrokenClobberCaught(t *testing.T) {
+	expectViolation(t, ClobberRegisterCodec(), smallConfig(t, false),
+		"handler-proof", "clobbered")
+}
+
+func TestBrokenGeometryCaught(t *testing.T) {
+	expectViolation(t, BadGeometryCodec(), smallConfig(t, false),
+		"geometry", "NeedsLAT")
+}
+
+func TestBrokenRatioCaught(t *testing.T) {
+	expectViolation(t, BadRatioCodec(), smallConfig(t, true),
+		"ratio", "outside declared")
+}
+
+// TestHealthyBaseline double-checks the negative controls are not
+// passing vacuously: the unwrapped dictionary codec passes the exact
+// configs the broken wrappers fail.
+func TestHealthyBaseline(t *testing.T) {
+	if vs := Check(mustDict(), smallConfig(t, true)); len(vs) != 0 {
+		t.Fatalf("healthy dict codec failed:\n%s", violationList(vs))
+	}
+}

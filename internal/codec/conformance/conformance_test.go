@@ -1,0 +1,114 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	_ "repro/internal/codec/all"
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/synth"
+)
+
+// TestAllRegisteredCodecs runs the full conformance battery against
+// every codec in the default registry — built-ins and out-of-tree
+// registrations alike. A new scheme becomes subject to the whole
+// contract the moment it calls codec.Register.
+func TestAllRegisteredCodecs(t *testing.T) {
+	names := codec.Names()
+	if len(names) < 6 {
+		t.Fatalf("registry has %d codecs, expected at least dict, dict8, codepack, procdict, copy, lz: %v",
+			len(names), names)
+	}
+	for _, c := range codec.All() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			t.Parallel()
+			Run(t, c)
+		})
+	}
+}
+
+// TestRegistryDuplicatePanics pins the registration contract: a second
+// Register under an existing name is a programming error, caught loudly
+// at init time rather than silently shadowing a scheme.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := codec.NewRegistry()
+	c, err := codec.Lookup("dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Register(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register(c)
+}
+
+// TestRegistryUnknownSchemeError pins the CLI-facing failure mode:
+// compressing with an unregistered scheme must fail with an error that
+// lists what is available.
+func TestRegistryUnknownSchemeError(t *testing.T) {
+	p, _ := synth.ByName("pegwit")
+	im, err := synth.Build(p.Scale(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Compress(im, core.Options{Scheme: program.Scheme("bogus")})
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	for _, want := range []string{"bogus", "dict", "codepack", "lz"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRegistrationOrderIrrelevant proves output does not depend on the
+// order codecs were registered: fresh registries populated in opposite
+// orders resolve the same codec values, and the image a codec produces
+// is a function of the codec alone (encode-determinism covers the
+// byte-level half; this pins the lookup half).
+func TestRegistrationOrderIrrelevant(t *testing.T) {
+	all := codec.All()
+	fwd, rev := codec.NewRegistry(), codec.NewRegistry()
+	for i := range all {
+		fwd.Register(all[i])
+		rev.Register(all[len(all)-1-i])
+	}
+	fn, rn := fwd.Names(), rev.Names()
+	if len(fn) != len(rn) {
+		t.Fatalf("name sets differ: %v vs %v", fn, rn)
+	}
+	for i := range fn {
+		if fn[i] != rn[i] {
+			t.Fatalf("name order differs at %d: %v vs %v", i, fn, rn)
+		}
+		a, err1 := fwd.Lookup(fn[i])
+		b, err2 := rev.Lookup(fn[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if a != b {
+			t.Fatalf("%s resolves to different codecs across registries", fn[i])
+		}
+	}
+}
+
+// TestRegistryRejectsEmptyName pins the other registration precondition.
+func TestRegistryRejectsEmptyName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name registration did not panic")
+		}
+	}()
+	codec.NewRegistry().Register(badNameCodec{})
+}
+
+type badNameCodec struct{ codec.Codec }
+
+func (badNameCodec) Name() string { return "" }

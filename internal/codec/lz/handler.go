@@ -1,0 +1,107 @@
+package lz
+
+import (
+	"fmt"
+	"strings"
+)
+
+const header = `
+        .section .decompressor, 0x7F000000
+`
+
+// handlerSource builds the in-ISA LZ decompressor. The I-cache is
+// write-only to handlers (swic), so back-references cannot read earlier
+// output out of the cache: the handler decodes the whole 256-byte block
+// bytewise into the scratch RAM published via $c0_dict, then copies it
+// into the I-cache as 64 words.
+//
+// Register roles:
+//
+//	$k1 block base address      $t3 stream pointer
+//	$t0 scratch base            $t1 scratch write pointer
+//	$t2 scratch end             $t4 control word
+//	$t5 items left in group     $t6/$t7/$t8 item temps
+//	$t9 block end (emit stop)
+func handlerSource(shadowRF bool) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString(`
+# Sliding-window LZ decompressor: decode one 256-byte block into the
+# scratch RAM at $c0_dict, then copy it into the I-cache.
+        .proc __decompress_lz
+__decompress_lz:
+`)
+	saved := []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9"}
+	if !shadowRF {
+		b.WriteString("        # Single register file: save everything we touch.\n")
+		for i, r := range saved {
+			fmt.Fprintf(&b, "        sw    %s, %d($sp)\n", r, -4*(i+1))
+		}
+	}
+	b.WriteString(`        # Locate the block: badva aligned down to 256 bytes.
+        mfc0  $k1, $c0_badva
+        srl   $k1, $k1, 8
+        sll   $k1, $k1, 8        # k1 = block base address
+        mfc0  $k0, $c0_dbase
+        subu  $t3, $k1, $k0      # byte offset into region (256-aligned)
+        srl   $t3, $t3, 6        # = block index * 4: LAT entry offset
+        mfc0  $t8, $c0_lat
+        addu  $t3, $t8, $t3
+        lw    $t3, 0($t3)        # stream byte offset (the extra access)
+        mfc0  $t8, $c0_indices
+        addu  $t3, $t8, $t3      # t3 = stream pointer
+        # Scratch RAM window: decode bytewise, copy to the cache at the end.
+        mfc0  $t0, $c0_dict      # scratch base
+        move  $t1, $t0           # write pointer
+        addiu $t2, $t0, 256      # scratch end
+group:  beq   $t1, $t2, emit
+        lbu   $t4, 0($t3)        # control word: bit i set = item i is a copy
+        lbu   $t6, 1($t3)        # (two byte loads: the stream is unaligned)
+        addiu $t3, $t3, 2
+        sll   $t6, $t6, 8
+        or    $t4, $t4, $t6
+        ori   $t5, $zero, 16
+item:   beq   $t1, $t2, emit     # block full mid-group
+        andi  $t6, $t4, 1
+        bne   $t6, $zero, copy
+        lbu   $t6, 0($t3)        # literal: one raw byte
+        addiu $t3, $t3, 1
+        sb    $t6, 0($t1)
+        addiu $t1, $t1, 1
+        b     next
+copy:   lbu   $t6, 0($t3)        # (length-3)<<4 | offset>>8
+        lbu   $t7, 1($t3)        # offset low byte
+        addiu $t3, $t3, 2
+        andi  $t8, $t6, 15
+        sll   $t8, $t8, 8
+        or    $t7, $t7, $t8      # back offset
+        srl   $t6, $t6, 4
+        addiu $t6, $t6, 3        # match length
+        subu  $t7, $t1, $t7      # copy source; bytewise forward so
+cploop: lbu   $t8, 0($t7)        # overlapping references self-extend
+        sb    $t8, 0($t1)
+        addiu $t7, $t7, 1
+        addiu $t1, $t1, 1
+        addiu $t6, $t6, -1
+        bne   $t6, $zero, cploop
+next:   srl   $t4, $t4, 1
+        addiu $t5, $t5, -1
+        bne   $t5, $zero, item
+        b     group
+emit:   # Copy the decoded block into the I-cache, 64 words.
+        move  $t1, $t0
+        addiu $t9, $k1, 256
+eloop:  lw    $t8, 0($t1)
+        swic  $t8, 0($k1)
+        addiu $t1, $t1, 4
+        addiu $k1, $k1, 4
+        bne   $k1, $t9, eloop
+`)
+	if !shadowRF {
+		for i, r := range saved {
+			fmt.Fprintf(&b, "        lw    %s, %d($sp)\n", r, -4*(i+1))
+		}
+	}
+	b.WriteString("        iret\n        .endp\n")
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package lz_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/codec"
+	"repro/internal/codec/lz"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/decomp"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// TestHandlerLockstep runs one synthetic benchmark compressed with lz in
+// lockstep against its native build, both register-file variants. The
+// conformance suite repeats this over every testdata program; this is
+// the fast, local version that pinpoints the handler when it breaks.
+func TestHandlerLockstep(t *testing.T) {
+	p, ok := synth.ByName("pegwit")
+	if !ok {
+		t.Fatal("pegwit workload missing")
+	}
+	nat, err := synth.Build(p.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shadowRF := range []bool{false, true} {
+		res, err := core.Compress(nat, core.Options{Scheme: lz.Name, ShadowRF: shadowRF})
+		if err != nil {
+			t.Fatalf("shadowRF=%v: %v", shadowRF, err)
+		}
+		cfg := cpu.DefaultConfig()
+		cfg.MaxInstr = 100_000_000
+		if err := verify.Lockstep(nat, res.Image, cfg, 0); err != nil {
+			t.Fatalf("shadowRF=%v: %v", shadowRF, err)
+		}
+	}
+}
+
+// TestHandlerProof runs the static handler-invisibility analyzer on both
+// LZ handler variants: the scratch-store discipline must make the sb
+// stores provably clean, with no Error or Warning findings at all.
+func TestHandlerProof(t *testing.T) {
+	c, err := codec.Lookup(lz.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shadowRF := range []bool{false, true} {
+		src, err := c.HandlerSource(shadowRF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := decomp.BuildSource(lz.Name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := &analysis.Report{}
+		analysis.AnalyzeHandlerSegment(seg, analysis.HandlerInfo{
+			Name:         "lz",
+			ShadowRF:     shadowRF,
+			ScratchBytes: c.Geometry().ScratchBytes,
+		}, rep)
+		for _, f := range rep.Findings {
+			t.Errorf("shadowRF=%v: %v", shadowRF, f)
+		}
+	}
+}
+
+// TestHandlerScratchUndeclared proves the analyzer would reject the LZ
+// handler if the codec failed to declare its scratch RAM: the same sb
+// stores become handler-store Errors.
+func TestHandlerScratchUndeclared(t *testing.T) {
+	c, err := codec.Lookup(lz.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.HandlerSource(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := decomp.BuildSource(lz.Name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &analysis.Report{}
+	analysis.AnalyzeHandlerSegment(seg, analysis.HandlerInfo{Name: "lz"}, rep)
+	found := false
+	for _, f := range rep.Findings {
+		if f.Rule == analysis.RuleHandlerStore && f.Severity == analysis.Error &&
+			strings.Contains(f.Message, "scratch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("undeclared scratch RAM not flagged: %v", rep.Findings)
+	}
+}

@@ -1,0 +1,230 @@
+// Package lz is a sliding-window LZ codec (LZRW1-style match/literal
+// encoding) added purely through the public codec interface: it brings
+// its own host-side compressor, byte-level reference decoder and in-ISA
+// decompression handler, and registers itself under the scheme name
+// "lz" — nothing inside internal/core, internal/decomp or the CLIs
+// knows it exists.
+//
+// # Format
+//
+// The compressed region is padded to 256-byte blocks; each block is
+// encoded independently so one exception can materialise it without
+// context (the block is this codec's decompression line, eight I-cache
+// lines). Within a block the encoding is LZRW1's (Williams, DCC 1991),
+// with the window confined to the block:
+//
+//   - a 16-bit little-endian control word starts each group of up to 16
+//     items; bit i (LSB-first) set means item i is a copy;
+//   - a literal item is one raw byte;
+//   - a copy item is two bytes: (length-3)<<4 | offset>>8, then the low
+//     offset byte — lengths 3..18, back-offsets 1..255 (within the
+//     block). Offsets smaller than the length yield overlapping copies,
+//     decoded bytewise forward (run-length expansion).
+//
+// A block's stream ends when 256 output bytes have been produced; the
+// .lat segment maps block index to stream byte offset (one uint32 per
+// block), exactly like CodePack's line-address table. Because swic is
+// write-only — the handler cannot read earlier output back out of the
+// I-cache — decoding needs working memory for the window: the codec
+// declares a 256-byte scratch RAM (the .dictionary segment, published
+// via $c0_dict), decodes the block into it bytewise, then copies it
+// into the I-cache as 64 swic words.
+package lz
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/codec"
+)
+
+// Name is the registry scheme name.
+const Name = "lz"
+
+// BlockBytes is the decompression-line size: the unit one exception
+// decodes, and the scratch RAM size.
+const BlockBytes = 256
+
+const (
+	minMatch = 3
+	maxMatch = 18
+	hashSize = 1024
+)
+
+func hash3(p []byte) uint32 {
+	return (40543 * (uint32(p[0])<<8 ^ uint32(p[1])<<4 ^ uint32(p[2])) >> 4) & (hashSize - 1)
+}
+
+// Compress encodes golden (length a multiple of BlockBytes) into the
+// item stream and its block-offset table.
+func Compress(golden []byte) (stream, lat []byte, err error) {
+	if len(golden)%BlockBytes != 0 {
+		return nil, nil, fmt.Errorf("lz: input length %d not a multiple of %d", len(golden), BlockBytes)
+	}
+	for b := 0; b*BlockBytes < len(golden); b++ {
+		lat = binary.LittleEndian.AppendUint32(lat, uint32(len(stream)))
+		stream = compressBlock(stream, golden[b*BlockBytes:(b+1)*BlockBytes])
+	}
+	return stream, lat, nil
+}
+
+// compressBlock appends one block's encoding to out. Greedy LZRW1
+// matching over a hash of 3-byte prefixes, with candidates confined to
+// the current block so the decoder's window never crosses a block
+// boundary.
+func compressBlock(out []byte, blk []byte) []byte {
+	var table [hashSize]int
+	for i := range table {
+		table[i] = -1
+	}
+	i := 0
+	for i < len(blk) {
+		ctrlPos := len(out)
+		out = append(out, 0, 0)
+		var ctrl uint16
+		for item := 0; item < 16 && i < len(blk); item++ {
+			if i+minMatch <= len(blk) {
+				h := hash3(blk[i:])
+				cand := table[h]
+				table[h] = i
+				if cand >= 0 {
+					max := len(blk) - i
+					if max > maxMatch {
+						max = maxMatch
+					}
+					length := 0
+					for length < max && blk[cand+length] == blk[i+length] {
+						length++
+					}
+					if length >= minMatch {
+						off := i - cand
+						out = append(out,
+							byte((length-minMatch)<<4|off>>8),
+							byte(off))
+						ctrl |= 1 << item
+						i += length
+						continue
+					}
+				}
+			}
+			out = append(out, blk[i])
+			i++
+		}
+		binary.LittleEndian.PutUint16(out[ctrlPos:], ctrl)
+	}
+	return out
+}
+
+// Decompress is the byte-level reference decoder: it reconstructs size
+// bytes from the stream and block-offset table, mirroring the in-ISA
+// handler item by item (including the stop-when-full check before every
+// item).
+func Decompress(stream, lat []byte, size int) ([]byte, error) {
+	if size%BlockBytes != 0 {
+		return nil, fmt.Errorf("lz: decode size %d not a multiple of %d", size, BlockBytes)
+	}
+	blocks := size / BlockBytes
+	if len(lat) < 4*blocks {
+		return nil, fmt.Errorf("lz: LAT has %d entries, need %d", len(lat)/4, blocks)
+	}
+	out := make([]byte, 0, size)
+	for b := 0; b < blocks; b++ {
+		off := int(binary.LittleEndian.Uint32(lat[4*b:]))
+		blk, err := decodeBlock(stream, off)
+		if err != nil {
+			return nil, fmt.Errorf("lz: block %d: %w", b, err)
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// decodeBlock decodes one 256-byte block starting at stream offset off.
+func decodeBlock(stream []byte, off int) ([]byte, error) {
+	out := make([]byte, 0, BlockBytes)
+	pos := off
+	for len(out) < BlockBytes {
+		if pos+2 > len(stream) {
+			return nil, fmt.Errorf("truncated control word at stream offset %d", pos)
+		}
+		ctrl := binary.LittleEndian.Uint16(stream[pos:])
+		pos += 2
+		for item := 0; item < 16 && len(out) < BlockBytes; item++ {
+			if ctrl&1 == 0 {
+				if pos >= len(stream) {
+					return nil, fmt.Errorf("truncated literal at stream offset %d", pos)
+				}
+				out = append(out, stream[pos])
+				pos++
+			} else {
+				if pos+2 > len(stream) {
+					return nil, fmt.Errorf("truncated copy item at stream offset %d", pos)
+				}
+				length := int(stream[pos]>>4) + minMatch
+				back := int(stream[pos]&0xF)<<8 | int(stream[pos+1])
+				pos += 2
+				if back < 1 || back > len(out) {
+					return nil, fmt.Errorf("copy offset %d outside the %d decoded bytes", back, len(out))
+				}
+				if len(out)+length > BlockBytes {
+					return nil, fmt.Errorf("copy of %d bytes runs past the block end", length)
+				}
+				// Bytewise forward copy: overlapping back-references
+				// self-extend, exactly as the handler's copy loop does.
+				src := len(out) - back
+				for k := 0; k < length; k++ {
+					out = append(out, out[src+k])
+				}
+			}
+			ctrl >>= 1
+		}
+	}
+	return out, nil
+}
+
+// lzCodec implements codec.Codec.
+type lzCodec struct{}
+
+func init() { codec.Register(lzCodec{}) }
+
+func (lzCodec) Name() string { return Name }
+
+func (lzCodec) Describe() string {
+	return "sliding-window LZ (LZRW1-style), 256-byte blocks decoded through a scratch RAM"
+}
+
+func (lzCodec) Geometry() codec.Geometry {
+	return codec.Geometry{
+		Align:        BlockBytes,
+		FillBytes:    BlockBytes,
+		NeedsIndices: true,
+		NeedsLAT:     true,
+		ScratchBytes: BlockBytes,
+	}
+}
+
+func (lzCodec) Encode(in codec.Input) (*codec.Encoded, error) {
+	stream, lat, err := Compress(in.Golden)
+	if err != nil {
+		return nil, err
+	}
+	// The .dictionary segment is pure scratch RAM: zeroed working
+	// memory the handler decodes each block into before the swic copy.
+	return &codec.Encoded{
+		Dict:    make([]byte, BlockBytes),
+		Indices: stream,
+		LAT:     lat,
+	}, nil
+}
+
+func (lzCodec) Decode(enc *codec.Encoded, size int) ([]byte, error) {
+	return Decompress(enc.Indices, enc.LAT, size)
+}
+
+func (lzCodec) HandlerSource(shadowRF bool) (string, error) {
+	return handlerSource(shadowRF), nil
+}
+
+func (lzCodec) Cost() codec.CostModel {
+	return codec.CostModel{FillReads: 1, RatioMin: 0.2, RatioMax: 1.25}
+}

@@ -1,0 +1,117 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+func padTo(b []byte, n int) []byte {
+	out := append([]byte(nil), b...)
+	for len(out)%n != 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, golden []byte) {
+	t.Helper()
+	stream, lat, err := Compress(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(stream, lat, len(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(golden), len(got))
+	}
+}
+
+func TestRoundTripPatterns(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"zeros":       make([]byte, 4*BlockBytes),
+		"one-block":   padTo([]byte("the quick brown fox jumps over the lazy dog"), BlockBytes),
+		"alternating": bytes.Repeat([]byte{0xAA, 0x55}, 3*BlockBytes/2),
+		"ramp": func() []byte {
+			b := make([]byte, 2*BlockBytes)
+			for i := range b {
+				b[i] = byte(i)
+			}
+			return b
+		}(),
+	}
+	for name, golden := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, golden) })
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := BlockBytes * (1 + rng.Intn(8))
+		golden := make([]byte, n)
+		switch trial % 3 {
+		case 0: // incompressible
+			rng.Read(golden)
+		case 1: // word-structured, like instruction streams
+			words := []uint32{0x24420004, 0x8FA90000, 0x00431021, 0x1440FFFC}
+			for i := 0; i+4 <= n; i += 4 {
+				w := words[rng.Intn(len(words))]
+				golden[i], golden[i+1], golden[i+2], golden[i+3] =
+					byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+			}
+		case 2: // runs (overlapping-copy territory)
+			for i := 0; i < n; {
+				run := 1 + rng.Intn(40)
+				b := byte(rng.Intn(4))
+				for j := 0; j < run && i < n; j++ {
+					golden[i] = b
+					i++
+				}
+			}
+		}
+		roundTrip(t, golden)
+	}
+}
+
+func TestCompressRejectsUnalignedInput(t *testing.T) {
+	if _, _, err := Compress(make([]byte, BlockBytes+1)); err == nil {
+		t.Fatal("unaligned input accepted")
+	}
+}
+
+func TestDecompressRejectsCorruptStreams(t *testing.T) {
+	golden := padTo([]byte("abcabcabcabcabc this string repeats abcabc"), BlockBytes)
+	stream, lat, err := Compress(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(stream[:1], lat, len(golden)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := Decompress(stream, lat[:0], len(golden)); err == nil {
+		t.Fatal("missing LAT accepted")
+	}
+	if _, err := Decompress(stream, lat, BlockBytes/2); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	c, err := codec.Lookup(Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := c.Geometry()
+	if geo.ScratchBytes != BlockBytes || geo.FillBytes != BlockBytes || geo.Align != BlockBytes {
+		t.Fatalf("unexpected geometry %+v", geo)
+	}
+	if !geo.NeedsIndices || !geo.NeedsLAT {
+		t.Fatalf("lz needs both an index stream and a LAT: %+v", geo)
+	}
+}

@@ -1,0 +1,94 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named set of codecs. The package-level Register/Lookup
+// functions operate on the default registry every tool links against;
+// separate Registry values exist so tests can exercise registration
+// semantics in isolation.
+type Registry struct {
+	mu     sync.Mutex
+	codecs map[string]Codec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{codecs: map[string]Codec{}}
+}
+
+// Register adds c under c.Name(). It panics on an empty name or a
+// duplicate registration: scheme names are global identifiers (CLI
+// flags, CompressionInfo.Scheme, bench workload rows) and a silent
+// override would change what existing images and baselines mean.
+func (r *Registry) Register(c Codec) {
+	name := c.Name()
+	if name == "" {
+		panic("codec: Register with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.codecs[name]; dup {
+		panic(fmt.Sprintf("codec: duplicate registration of scheme %q", name))
+	}
+	r.codecs[name] = c
+}
+
+// Lookup returns the codec registered under name. The error lists every
+// registered scheme so CLI users see what is available.
+func (r *Registry) Lookup(name string) (Codec, error) {
+	r.mu.Lock()
+	c, ok := r.codecs[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q (available: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return c, nil
+}
+
+// Names returns the registered scheme names, sorted. Sorting (not
+// registration order) is the determinism contract: every consumer that
+// iterates the registry sees the same sequence regardless of package
+// initialisation order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.codecs))
+	for n := range r.codecs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered codecs in Names() order.
+func (r *Registry) All() []Codec {
+	names := r.Names()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Codec, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.codecs[n])
+	}
+	return out
+}
+
+// defaultRegistry holds every codec linked into the binary.
+var defaultRegistry = NewRegistry()
+
+// Register adds c to the default registry (panics on duplicates).
+func Register(c Codec) { defaultRegistry.Register(c) }
+
+// Lookup resolves a scheme name against the default registry.
+func Lookup(name string) (Codec, error) { return defaultRegistry.Lookup(name) }
+
+// Names lists the default registry's scheme names, sorted.
+func Names() []string { return defaultRegistry.Names() }
+
+// All returns the default registry's codecs in Names() order.
+func All() []Codec { return defaultRegistry.All() }

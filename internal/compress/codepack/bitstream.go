@@ -40,12 +40,20 @@ type bitReader struct {
 	pos  int
 	buf  uint32 // MSB-justified valid bits
 	n    uint
+	over bool // a refill ran past the end of data (malformed stream)
 }
 
 // take consumes k bits (k <= 16), refilling 16 at a time from the stream.
+// Reading past the end of data zero-fills and sets over, so a malformed
+// stream surfaces as a flag instead of a panic.
 func (r *bitReader) take(k uint) uint32 {
 	for r.n < k {
-		half := binary.LittleEndian.Uint16(r.data[r.pos:])
+		var half uint16
+		if r.pos+2 <= len(r.data) {
+			half = binary.LittleEndian.Uint16(r.data[r.pos:])
+		} else {
+			r.over = true
+		}
 		r.pos += 2
 		r.buf |= uint32(half) << (16 - r.n)
 		r.n += 16
@@ -62,3 +70,6 @@ func (r *bitReader) seek(off int) {
 	r.buf = 0
 	r.n = 0
 }
+
+// overrun reports whether any take ran past the end of the stream.
+func (r *bitReader) overrun() bool { return r.over }

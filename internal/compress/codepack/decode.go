@@ -1,0 +1,78 @@
+package codepack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DecompressBytes is the byte-level reference decoder: it reconstructs
+// size bytes of text from the serialised table header, bit-stream and
+// LAT, reading the tables through the same header offsets the assembly
+// handler uses (it never sees the in-memory Compressed form). It is the
+// round-trip oracle of the codec conformance suite.
+func DecompressBytes(tables, stream, lat []byte, size int) ([]byte, error) {
+	if size%GroupBytes != 0 {
+		return nil, fmt.Errorf("codepack: decode size %d not a multiple of %d", size, GroupBytes)
+	}
+	if len(tables) < hdrSize {
+		return nil, fmt.Errorf("codepack: table segment truncated (%d bytes)", len(tables))
+	}
+	groups := size / GroupBytes
+	if len(lat) < 4*groups {
+		return nil, fmt.Errorf("codepack: LAT has %d entries, need %d", len(lat)/4, groups)
+	}
+	entry := func(off uint32, idx uint32) (uint16, error) {
+		p := int(off) + 2*int(idx)
+		if p+2 > len(tables) {
+			return 0, fmt.Errorf("codepack: table read at %d exceeds segment (%d bytes)", p, len(tables))
+		}
+		return binary.LittleEndian.Uint16(tables[p:]), nil
+	}
+	hi0 := binary.LittleEndian.Uint16(tables[hdrHi0:])
+	lo0 := binary.LittleEndian.Uint16(tables[hdrLo0:])
+	offs := [6]uint32{}
+	for i := range offs {
+		offs[i] = binary.LittleEndian.Uint32(tables[hdrHi1Off+4*i:])
+	}
+	// decodeHalf mirrors halfCoder.decode against the serialised tables:
+	// t1/t2/t3 are the header-offset indices of this half's tables.
+	decodeHalf := func(r *bitReader, rank0 uint16, t1, t2, t3 int) (uint16, error) {
+		switch r.take(2) {
+		case 0b00:
+			return rank0, nil
+		case 0b01:
+			return entry(offs[t1], r.take(5))
+		case 0b10:
+			return entry(offs[t2], r.take(8))
+		default:
+			if r.take(1) == 0 {
+				return entry(offs[t3], r.take(11))
+			}
+			return uint16(r.take(16)), nil
+		}
+	}
+	out := make([]byte, size)
+	r := &bitReader{data: stream}
+	for g := 0; g < groups; g++ {
+		off := binary.LittleEndian.Uint32(lat[4*g:])
+		if int(off) >= len(stream) && groups > 0 {
+			return nil, fmt.Errorf("codepack: LAT entry %d offset %d exceeds stream (%d bytes)", g, off, len(stream))
+		}
+		r.seek(int(off))
+		for i := g * GroupInstrs; i < (g+1)*GroupInstrs; i++ {
+			hi, err := decodeHalf(r, hi0, 0, 2, 4)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := decodeHalf(r, lo0, 1, 3, 5)
+			if err != nil {
+				return nil, err
+			}
+			binary.LittleEndian.PutUint32(out[4*i:], uint32(hi)<<16|uint32(lo))
+		}
+		if r.overrun() {
+			return nil, fmt.Errorf("codepack: group %d decode ran past the end of the stream", g)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package dict
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DecompressBytes is the byte-level reference decoder: it reconstructs
+// size bytes of text from the serialised dictionary and index stream,
+// performing exactly the lookups the assembly handler does (index load,
+// scale by 4, dictionary word fetch). It is the round-trip oracle the
+// codec conformance suite runs against the serialised segments rather
+// than the in-memory Compressed form.
+func DecompressBytes(dictSeg, indices []byte, bits IndexBits, size int) ([]byte, error) {
+	if bits == 0 {
+		bits = Index16
+	}
+	if size%4 != 0 {
+		return nil, fmt.Errorf("dict: decode size %d not word-aligned", size)
+	}
+	n := size / 4
+	scale := 2
+	if bits == Index8 {
+		scale = 1
+	}
+	if len(indices) < n*scale {
+		return nil, fmt.Errorf("dict: index stream has %d bytes, need %d", len(indices), n*scale)
+	}
+	out := make([]byte, size)
+	for i := 0; i < n; i++ {
+		var idx int
+		if bits == Index8 {
+			idx = int(indices[i])
+		} else {
+			idx = int(binary.LittleEndian.Uint16(indices[2*i:]))
+		}
+		if 4*idx+4 > len(dictSeg) {
+			return nil, fmt.Errorf("dict: index %d exceeds dictionary (%d entries)", idx, len(dictSeg)/4)
+		}
+		copy(out[4*i:], dictSeg[4*idx:4*idx+4])
+	}
+	return out, nil
+}

@@ -11,7 +11,8 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
-	"repro/internal/compress/codepack"
+	"repro/internal/codec"
+	_ "repro/internal/codec/all" // register every shipped codec
 	"repro/internal/compress/dict"
 	"repro/internal/decomp"
 	"repro/internal/isa"
@@ -85,6 +86,21 @@ func (r *Result) Ratio() float64 {
 // procedure-placement side-effects the paper reports (§5.3) arise here
 // exactly as they did for the authors.
 func Compress(native *program.Image, opts Options) (*Result, error) {
+	if opts.IndexBits == 0 {
+		opts.IndexBits = dict.Index16
+	}
+	cdc, err := codec.Lookup(opts.codecName())
+	if err != nil {
+		return nil, fmt.Errorf("core: %v", err)
+	}
+	return CompressWith(native, cdc, opts)
+}
+
+// CompressWith is Compress with an explicit codec instead of a registry
+// lookup: the image records cdc.Name() as its scheme. The conformance
+// suite uses it to exercise codec implementations — including
+// deliberately broken ones — without registering them.
+func CompressWith(native *program.Image, cdc codec.Codec, opts Options) (*Result, error) {
 	if native.Compress != nil {
 		return nil, fmt.Errorf("core: image is already compressed")
 	}
@@ -95,13 +111,9 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 	if len(native.Procs) == 0 {
 		return nil, fmt.Errorf("core: image has no procedure table")
 	}
-	if opts.IndexBits == 0 {
-		opts.IndexBits = dict.Index16
-	}
-	switch opts.Scheme {
-	case program.SchemeDict, program.SchemeCodePack, program.SchemeProcDict, SchemeCopy:
-	default:
-		return nil, fmt.Errorf("core: unsupported scheme %q", opts.Scheme)
+	geo := cdc.Geometry()
+	if geo.Align <= 0 || geo.Align%4 != 0 {
+		return nil, fmt.Errorf("core: codec %s declares invalid alignment %d", cdc.Name(), geo.Align)
 	}
 
 	// Partition procedures. Within each region the original program
@@ -120,12 +132,11 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: every procedure selected native; nothing to compress")
 	}
 
-	// Dictionary overflow fallback (paper §3.1): when the program has
-	// more unique instructions than the index width can address,
-	// procedures are compressed in order until the dictionary is full
-	// and the remainder is left in the native code region.
-	if opts.Scheme == program.SchemeDict {
-		spill := dictSpill(text, cmpProcs, opts.IndexBits)
+	// Representation overflow fallback (paper §3.1): codecs whose
+	// representation can fill up (the dictionary index space) report how
+	// many trailing procedures must be left in the native code region.
+	if sp, ok := cdc.(codec.Spiller); ok {
+		spill := sp.Spill(text, cmpProcs)
 		if spill > 0 {
 			natProcs = append(natProcs, cmpProcs[len(cmpProcs)-spill:]...)
 			cmpProcs = cmpProcs[:len(cmpProcs)-spill]
@@ -145,49 +156,28 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 	for _, p := range cmpProcs {
 		lay.placeCompressed(p)
 	}
-	align := decomp.LineBytes
-	if opts.Scheme == program.SchemeCodePack {
-		align = codepack.GroupBytes
-	}
-	lay.padCompressed(align)
+	lay.padCompressed(geo.Align)
 
 	im, err := lay.build(native)
 	if err != nil {
 		return nil, err
 	}
 
-	// Compress the (relocated) bytes of the compressed region.
+	// Compress the (relocated) bytes of the compressed region through
+	// the codec's encoder.
 	golden := im.Segment(program.SegText).Data
-	var dictSeg, idxSeg, latSeg []byte
-	switch opts.Scheme {
-	case program.SchemeDict:
-		c, err := dict.Compress(golden, opts.IndexBits)
-		if err != nil {
-			return nil, err
-		}
-		dictSeg, idxSeg = c.DictBytes(), c.IndexBytes()
-	case program.SchemeProcDict:
-		// Same dictionary codec, but the handler decompresses whole
-		// procedures: it needs a bounds table (published via the LAT
-		// base register) on top of the dictionary representation.
-		c, err := dict.Compress(golden, dict.Index16)
-		if err != nil {
-			return nil, err
-		}
-		dictSeg, idxSeg = c.DictBytes(), c.IndexBytes()
-		latSeg = procBoundsTable(im, program.CompBase+uint32(len(golden)))
-	case program.SchemeCodePack:
-		c, err := codepack.Compress(golden)
-		if err != nil {
-			return nil, err
-		}
-		dictSeg, idxSeg, latSeg = c.TableBytes(), c.Stream, c.LATBytes()
-	case SchemeCopy:
-		dictSeg = append([]byte(nil), golden...)
+	enc, err := cdc.Encode(codec.Input{
+		Golden:     golden,
+		RegionBase: program.CompBase,
+		RegionEnd:  program.CompBase + uint32(len(golden)),
+		Procs:      im.Procs,
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	ci := &program.CompressionInfo{
-		Scheme:    opts.Scheme,
+		Scheme:    program.Scheme(cdc.Name()),
 		CompStart: program.CompBase,
 		CompEnd:   program.CompBase + uint32(len(golden)),
 		ShadowRF:  opts.ShadowRF,
@@ -200,14 +190,17 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 		return base
 	}
 	next := uint32(program.CompDataBase)
-	ci.DictBase = addSeg(program.SegDict, next, dictSeg)
-	next += uint32(len(dictSeg)+63) &^ 63
-	ci.IndicesBase = addSeg(program.SegIndices, next, idxSeg)
-	next += uint32(len(idxSeg)+63) &^ 63
-	ci.LATBase = addSeg(program.SegLAT, next, latSeg)
+	ci.DictBase = addSeg(program.SegDict, next, enc.Dict)
+	next += uint32(len(enc.Dict)+63) &^ 63
+	ci.IndicesBase = addSeg(program.SegIndices, next, enc.Indices)
+	next += uint32(len(enc.Indices)+63) &^ 63
+	ci.LATBase = addSeg(program.SegLAT, next, enc.LAT)
 
-	handler, err := decomp.Build(decomp.Variant{
-		Scheme: opts.Scheme, ShadowRF: opts.ShadowRF, IndexBits: opts.IndexBits})
+	src, err := cdc.HandlerSource(opts.ShadowRF)
+	if err != nil {
+		return nil, err
+	}
+	handler, err := decomp.BuildSource(cdc.Name(), src)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +213,7 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 	res := &Result{
 		Image:        im,
 		OriginalSize: len(text.Data),
-		StoredSize:   len(dictSeg) + len(idxSeg) + len(latSeg) + lay.nativeLen(),
+		StoredSize:   len(enc.Dict) + len(enc.Indices) + len(enc.LAT) + lay.nativeLen(),
 		NativeBytes:  lay.nativeLen(),
 	}
 	if opts.Lint {
@@ -232,57 +225,22 @@ func Compress(native *program.Image, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// dictSpill returns how many trailing procedures of cmpProcs must be
-// left native so the remaining unique instruction words fit the
-// dictionary capacity. It walks procedures in compression order,
-// accumulating their unique words (§3.1: "when the dictionary is filled
-// the remainder of the program is left in the native code region").
-func dictSpill(text *program.Segment, cmpProcs []program.Procedure, bits dict.IndexBits) int {
-	// One slot is reserved for the nop padding the region may need.
-	capacity := bits.MaxEntries() - 1
-	seen := make(map[uint32]bool, capacity)
-	for i, p := range cmpProcs {
-		for a := p.Addr; a+4 <= p.Addr+p.Size; a += 4 {
-			w := text.Word(a)
-			if !seen[w] {
-				if len(seen) >= capacity {
-					return len(cmpProcs) - i
-				}
-				seen[w] = true
-			}
-		}
+// codecName maps compression options to a registry name: the dict
+// scheme with 8-bit indices is the separately registered dict8 codec;
+// every other scheme name is already the registry key.
+func (o Options) codecName() string {
+	if o.Scheme == program.SchemeDict && o.IndexBits == dict.Index8 {
+		return "dict8"
 	}
-	return 0
+	return string(o.Scheme)
 }
+
+// Schemes returns the registered scheme names, sorted — what the CLIs
+// print in usage text and unknown-scheme errors.
+func Schemes() []string { return codec.Names() }
 
 func sortByAddr(procs []program.Procedure) {
 	sort.Slice(procs, func(i, j int) bool { return procs[i].Addr < procs[j].Addr })
-}
-
-// procBoundsTable serialises the compressed-region procedure bounds for
-// the procedure-granularity handler: [N, start_0..start_{N-1}, regionEnd],
-// little-endian words, starts ascending.
-func procBoundsTable(im *program.Image, regionEnd uint32) []byte {
-	var starts []uint32
-	for _, p := range im.Procs {
-		if p.Addr >= program.CompBase {
-			starts = append(starts, p.Addr)
-		}
-	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	out := make([]byte, 4*(len(starts)+2))
-	put := func(i int, v uint32) {
-		out[4*i] = byte(v)
-		out[4*i+1] = byte(v >> 8)
-		out[4*i+2] = byte(v >> 16)
-		out[4*i+3] = byte(v >> 24)
-	}
-	put(0, uint32(len(starts)))
-	for i, s := range starts {
-		put(1+i, s)
-	}
-	put(1+len(starts), regionEnd)
-	return out
 }
 
 // orderProcs applies an explicit placement order: listed procedures come

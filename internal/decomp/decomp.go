@@ -66,21 +66,6 @@ func Region() (base, size uint32) {
 	return program.HandlerBase, program.HandlerSize
 }
 
-// FillBytes returns how many decompressed-region bytes one handler
-// invocation materialises: the decompression-line size the static
-// analyzer checks branch targets and region geometry against. Procedure
-// granularity has no fixed line; it reports 0.
-func FillBytes(s program.Scheme) int {
-	switch s {
-	case program.SchemeCodePack:
-		return 2 * LineBytes // a 16-instruction group spans two lines
-	case program.SchemeProcDict:
-		return 0
-	default:
-		return LineBytes
-	}
-}
-
 // Source returns the handler's assembly source text.
 func Source(v Variant) (string, error) {
 	switch v.Scheme {
@@ -100,7 +85,7 @@ func Source(v Variant) (string, error) {
 	case program.SchemeProcDict:
 		return procdictSource(v.ShadowRF), nil
 	case "copy":
-		return copySource, nil
+		return copySource(v.ShadowRF), nil
 	default:
 		return "", fmt.Errorf("decomp: no handler for scheme %q", v.Scheme)
 	}
@@ -112,16 +97,23 @@ func Build(v Variant) (*program.Segment, error) {
 	if err != nil {
 		return nil, err
 	}
+	return BuildSource(v.String(), src)
+}
+
+// BuildSource assembles handler source text (named for error messages)
+// into its .decompressor segment and size-checks it against the handler
+// RAM. It is the assembly path codecs outside this package share.
+func BuildSource(name, src string) (*program.Segment, error) {
 	im, err := asm.Assemble(src)
 	if err != nil {
-		return nil, fmt.Errorf("decomp: assembling %v handler: %v", v, err)
+		return nil, fmt.Errorf("decomp: assembling %s handler: %v", name, err)
 	}
 	seg := im.Segment(program.SegDecompressor)
 	if seg == nil {
-		return nil, fmt.Errorf("decomp: %v handler has no %s section", v, program.SegDecompressor)
+		return nil, fmt.Errorf("decomp: %s handler has no %s section", name, program.SegDecompressor)
 	}
 	if uint32(len(seg.Data)) > program.HandlerSize {
-		return nil, fmt.Errorf("decomp: %v handler exceeds handler RAM", v)
+		return nil, fmt.Errorf("decomp: %s handler exceeds handler RAM", name)
 	}
 	return seg, nil
 }
@@ -226,12 +218,26 @@ __decompress_dict_rf:
 	return b.String()
 }
 
-const copySource = header + `
+// copySource builds the null "decompressor": it copies the missed line
+// from a backed golden copy whose base is in $c0_dict, isolating the
+// exception + swic overhead. The single-register-file variant saves its
+// three temporaries to the red zone, like the dictionary handler.
+func copySource(shadowRF bool) string {
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteString(`
 # Null "decompressor": copies the missed line from a backed golden copy
 # whose base is in $c0_dict. Isolates the exception + swic overhead.
         .proc __decompress_copy
 __decompress_copy:
-        mfc0  $k1, $c0_badva
+`)
+	if !shadowRF {
+		b.WriteString(`        sw    $t1, -4($sp)
+        sw    $t2, -8($sp)
+        sw    $t3, -12($sp)
+`)
+	}
+	b.WriteString(`        mfc0  $k1, $c0_badva
         srl   $k1, $k1, 5
         sll   $k1, $k1, 5
         mfc0  $k0, $c0_dbase
@@ -244,9 +250,16 @@ cloop:  lw    $t3, 0($t1)
         addiu $t1, $t1, 4
         addiu $k1, $k1, 4
         bne   $k1, $t2, cloop
-        iret
-        .endp
-`
+`)
+	if !shadowRF {
+		b.WriteString(`        lw    $t1, -4($sp)
+        lw    $t2, -8($sp)
+        lw    $t3, -12($sp)
+`)
+	}
+	b.WriteString("        iret\n        .endp\n")
+	return b.String()
+}
 
 // codepackSource builds the CodePack group decompressor. It decodes a
 // whole 16-instruction group (two cache lines) serially from the

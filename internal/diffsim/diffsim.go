@@ -1,9 +1,9 @@
 // Package diffsim is a differential co-simulation fuzzing harness for
 // the compression pipeline. Each case generates a seeded random program
-// (internal/synth), builds four images of it — native, dictionary,
-// CodePack, and selective (a dictionary image with a seed-chosen subset
-// of procedures left native) — and runs all four through internal/cpu
-// in lockstep (verify.LockstepMulti), asserting:
+// (internal/synth), builds five images of it — native, dictionary,
+// CodePack, selective (a dictionary image with a seed-chosen subset of
+// procedures left native), and sliding-window LZ — and runs all five
+// through internal/cpu in lockstep (verify.LockstepMulti), asserting:
 //
 //   - architectural equivalence: every committed user instruction,
 //     the full register file (with the verifier's code-address masking),
@@ -31,9 +31,9 @@ import (
 	"repro/internal/verify"
 )
 
-// ImageKinds names the four images of every case, in run order.
+// ImageKinds names the five images of every case, in run order.
 // Index 0 is the lockstep reference.
-var ImageKinds = []string{"native", "dict", "codepack", "selective"}
+var ImageKinds = []string{"native", "dict", "codepack", "selective", "lz"}
 
 // Options configures one differential check.
 type Options struct {
@@ -62,7 +62,7 @@ func (f *Failure) Error() string {
 
 const defaultMaxSteps = 200_000
 
-// BuildImages assembles the program and produces the four image
+// BuildImages assembles the program and produces the five image
 // variants. The selective image leaves a deterministic, seed-dependent
 // subset of procedures native (never main, so something is always
 // compressed).
@@ -77,6 +77,7 @@ func BuildImages(p *synth.RandProgram, opts Options) ([]*program.Image, error) {
 		{Scheme: program.SchemeCodePack, ShadowRF: opts.ShadowRF},
 		{Scheme: program.SchemeDict, ShadowRF: opts.ShadowRF,
 			NativeProcs: selectNative(native, p.Spec.Seed)},
+		{Scheme: program.Scheme("lz"), ShadowRF: opts.ShadowRF},
 	} {
 		res, err := core.Compress(native, o)
 		if err != nil {
@@ -110,7 +111,7 @@ func selectNative(im *program.Image, seed int64) map[string]bool {
 
 // Check runs one differential case. It returns:
 //
-//	(nil, nil)      — the four images are equivalent and all oracles hold;
+//	(nil, nil)      — the five images are equivalent and all oracles hold;
 //	(failure, nil)  — a confirmed finding;
 //	(nil, err)      — infrastructure problem (build failed, the native
 //	                  reference faulted, or the step budget ran out):

@@ -82,6 +82,8 @@ func Registry() []Workload {
 		{Name: "perl/dict+rf/64K", Version: 1, Bench: "perl", Scheme: program.SchemeDict, ShadowRF: true, CacheKB: 64},
 		{Name: "mpeg2enc/procdict/16K", Version: 1, Bench: "mpeg2enc", Scheme: program.SchemeProcDict, CacheKB: 16},
 		{Name: "vortex/native/16K", Version: 1, Bench: "vortex", CacheKB: 16},
+		{Name: "go/lz/16K", Version: 1, Bench: "go", Scheme: program.Scheme("lz"), CacheKB: 16},
+		{Name: "pegwit/lz+rf/4K", Version: 1, Bench: "pegwit", Scheme: program.Scheme("lz"), ShadowRF: true, CacheKB: 4},
 	}
 }
 

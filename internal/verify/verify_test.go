@@ -78,9 +78,22 @@ func TestLockstepDetectsCorruptedDictionary(t *testing.T) {
 }
 
 func TestLockstepDetectsClobberingHandler(t *testing.T) {
-	// The no-shadow-RF copy handler clobbers registers; lockstep must
-	// pinpoint the first corrupted register.
-	nat, comp := buildPair(t, core.Options{Scheme: core.SchemeCopy})
+	// Break a handler's register restore: nop out the `lw $t1, -4($sp)`
+	// epilogue load of the single-RF dictionary handler, so every
+	// invocation leaves $t1 corrupted. Lockstep must pinpoint it.
+	nat, comp := buildPair(t, core.Options{Scheme: program.SchemeDict})
+	h := comp.Segment(program.SegDecompressor)
+	const lwT1 = 0x8FA9FFFC // lw $t1, -4($sp)
+	patched := false
+	for a := h.Base; a+4 <= h.Base+uint32(len(h.Data)); a += 4 {
+		if h.Word(a) == lwT1 {
+			h.SetWord(a, 0) // nop
+			patched = true
+		}
+	}
+	if !patched {
+		t.Fatal("restore instruction not found in handler")
+	}
 	err := Lockstep(nat, comp, cfg(), 0)
 	if err == nil {
 		t.Fatal("register clobbering not detected")

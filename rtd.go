@@ -5,10 +5,10 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/codec"
 	"repro/internal/compress/dict"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/decomp"
 	"repro/internal/minic"
 	"repro/internal/placement"
 	"repro/internal/program"
@@ -240,9 +240,15 @@ func BuildBenchmarkScaled(name string, scale float64) (*Image, error) {
 }
 
 // HandlerSource returns the CLR32 assembly of the software decompressor
-// for the scheme (the paper's Figure 2 for SchemeDict).
+// for the scheme (the paper's Figure 2 for SchemeDict). The scheme is
+// resolved through the codec registry, so it covers every registered
+// codec including third-party ones.
 func HandlerSource(scheme Scheme, shadowRF bool) (string, error) {
-	return decomp.Source(decomp.Variant{Scheme: scheme, ShadowRF: shadowRF})
+	c, err := codec.Lookup(string(scheme))
+	if err != nil {
+		return "", err
+	}
+	return c.HandlerSource(shadowRF)
 }
 
 // Disassemble renders the image's code segment as assembly, one
