@@ -264,6 +264,20 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		}
 		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
 	})
+	// Windowed adds the time-series sampler (default window size plus
+	// the post-run sum-invariant verification) on top of On; the gap
+	// between On and Windowed is the sampling overhead, budgeted at <5%.
+	b.Run("windowed", func(b *testing.B) {
+		var instrs uint64
+		for i := 0; i < b.N; i++ {
+			out, _, _, err := rtd.WindowedRun(res.Image, rtd.DefaultMachine(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += out.Stats.Instrs + out.Stats.HandlerInstrs
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+	})
 }
 
 // BenchmarkAssembler measures text-assembly throughput on the dictionary

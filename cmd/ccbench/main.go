@@ -27,16 +27,17 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
-	"os/exec"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/perfwatch"
 )
 
 func main() {
-	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	log := obs.NewLogger("ccbench", nil)
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -86,22 +87,6 @@ func defaultScale() float64 {
 		}
 	}
 	return 0.2
-}
-
-// gitSHA is a best-effort commit id for the fingerprint: GITHUB_SHA in
-// CI, otherwise git on the working tree, otherwise empty.
-func gitSHA() string {
-	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
-		if len(sha) > 12 {
-			sha = sha[:12]
-		}
-		return sha
-	}
-	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
 }
 
 func cmdList(args []string) error {
@@ -203,17 +188,23 @@ func cmdRun(args []string, log *slog.Logger) error {
 
 	// Note: *host is only the trajectory file label; the fingerprint
 	// keeps the real hostname so host-comparability stays honest.
+	start := time.Now()
 	pv := startExpvar(*expAdr, log)
 	fp := perfwatch.NewFingerprint(*scale, *reps)
-	fp.GitSHA = gitSHA()
+	fp.GitSHA = obs.GitSHA()
 	log.Info("run", "scale", *scale, "reps", *reps, "file", path,
 		"go", fp.GoVersion, "gomaxprocs", fp.GOMAXPROCS, "sha", fp.GitSHA)
 
+	rep := obs.NewReporter("ccbench run", os.Stderr, log)
 	r := perfwatch.NewRunner(*scale, *reps)
 	r.Log = log
-	r.Progress = pv.update
+	r.Progress = func(done, total int, s perfwatch.Sample) {
+		pv.update(done, total, s)
+		rep.Step(done, total, s.Workload)
+	}
 	r.Workers = *workers
 	entry, err := r.Run(fp, splitOnly(*only))
+	rep.Done()
 	if err != nil {
 		return err
 	}
@@ -226,6 +217,17 @@ func cmdRun(args []string, log *slog.Logger) error {
 		return err
 	}
 	log.Info("appended", "file", path, "entries", len(traj.Entries), "samples", len(entry.Samples))
+
+	// Sidecar manifest: what this trajectory entry was measured with.
+	man := obs.New("ccbench")
+	man.SetConfig("scale", fmt.Sprint(*scale))
+	man.SetConfig("reps", fmt.Sprint(*reps))
+	man.SetConfig("workers", fmt.Sprint(*workers))
+	man.SetConfig("host_label", *host)
+	man.Finish(start)
+	if err := man.Write(obs.PathFor(path)); err != nil {
+		return err
+	}
 
 	// When the file already held an entry, show the trajectory step.
 	if len(traj.Entries) >= 2 {
@@ -313,12 +315,17 @@ func cmdGate(args []string, log *slog.Logger) error {
 
 	pv := startExpvar(*expAdr, log)
 	fp := perfwatch.NewFingerprint(scale, *reps)
-	fp.GitSHA = gitSHA()
+	fp.GitSHA = obs.GitSHA()
+	rep := obs.NewReporter("ccbench gate", os.Stderr, log)
 	r := perfwatch.NewRunner(scale, *reps)
 	r.Log = log
-	r.Progress = pv.update
+	r.Progress = func(done, total int, s perfwatch.Sample) {
+		pv.update(done, total, s)
+		rep.Step(done, total, s.Workload)
+	}
 	r.Workers = *workers
 	entry, err := r.Run(fp, splitOnly(*only))
+	rep.Done()
 	if err != nil {
 		return err
 	}

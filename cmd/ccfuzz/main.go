@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/diffsim"
+	"repro/internal/obs"
 )
 
 var (
@@ -78,8 +79,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var rep *obs.Reporter
 	if !*quiet {
 		cfg.Log = os.Stderr
+		rep = obs.NewReporter("ccfuzz", os.Stderr, obs.NewLogger("ccfuzz", os.Stderr))
+		cfg.Progress = func(done, total int) { rep.Step(done, total, "") }
 	}
 	if *jsonl != "" {
 		f, err := os.OpenFile(*jsonl, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -92,6 +96,9 @@ func main() {
 
 	start := time.Now()
 	sum, err := diffsim.Run(cfg)
+	if rep != nil {
+		rep.Done()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

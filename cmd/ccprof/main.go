@@ -15,9 +15,17 @@
 //	                                    (by misses) stays native
 //	ccprof -format json -trace trace.json -folded profile.folded prog.img
 //	ccprof -heatmap sets.csv prog.img   per-set cache counters as CSV
+//	ccprof -timeline tl.csv prog.img    windowed time-series telemetry
+//	ccprof -window 1024 -phases prog.img
+//	                                    per-window CPI deltas + hottest
+//	                                    windows by decompression share
+//	ccprof -manifest run.manifest.json prog.img
+//	                                    write the run manifest sidecar
 //
-// The simulated program's own output goes to stderr so the report stream
-// stays machine-readable.
+// Every run embeds a provenance manifest in the report (schema v3);
+// -manifest additionally writes the sidecar form with wall-clock
+// timings. The simulated program's own output goes to stderr so the
+// report stream stays machine-readable.
 package main
 
 import (
@@ -27,11 +35,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/selective"
 	"repro/internal/synth"
@@ -41,6 +51,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ccprof: ")
+	start := time.Now()
 	var (
 		bench     = flag.String("bench", "", "profile a synthetic benchmark instead of a file")
 		scale     = flag.Float64("scale", 1.0, "dynamic length multiplier for -bench")
@@ -54,16 +65,37 @@ func main() {
 		tracePath = flag.String("trace", "", "write Chrome trace-event JSON here")
 		foldPath  = flag.String("folded", "", "write folded flamegraph stacks here")
 		heatPath  = flag.String("heatmap", "", "write per-set I/D-cache miss/conflict/evict counters here as CSV")
+		timeline  = flag.String("timeline", "", "write windowed time-series telemetry here (.json = JSON, else CSV)")
+		window    = flag.Uint64("window", 0, "timeline window size in committed instructions (0 = default)")
+		phases    = flag.Bool("phases", false, "print the timeline phase summary to stderr")
+		manifest  = flag.String("manifest", "", "write the run manifest sidecar here")
 	)
 	flag.Parse()
 	if (*bench == "") == (flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "ccprof: unknown -format %q (want text, csv or json)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	man := obs.New("ccprof")
+	man.SetConfig("scheme", *scheme)
+	man.SetConfig("icache_kb", fmt.Sprint(*icacheKB))
+	man.SetConfig("format", *format)
 
 	im, name, seed, err := loadImage(*bench, *scale, flag.Args())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *bench == "" {
+		if err := man.AddInputFile(name, flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	cfg := cpu.DefaultConfig()
@@ -90,13 +122,25 @@ func main() {
 		}
 		im = res.Image
 	}
+	if err := man.AddImage("run-image", im); err != nil {
+		log.Fatal(err)
+	}
 
 	col := telemetry.New()
+	col.Windows = telemetry.NewWindowSampler(*window)
+	man.SetConfig("window", fmt.Sprint(col.Windows.Size))
 	prof, rep, err := profiledRun(im, cfg, col)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The hard timeline invariant: component-wise window sums must be
+	// bit-identical to the whole-run stats. A violation is a simulator
+	// bug, so it fails the run loudly.
+	if err := col.Windows.Verify(); err != nil {
+		log.Fatal(err)
+	}
 	rep.SetIdentity(name, schemeOf(im), seed)
+	rep.SetManifest(man)
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -114,11 +158,12 @@ func main() {
 		err = rep.WriteCSV(out)
 	case "json":
 		err = rep.WriteJSON(out)
-	default:
-		log.Fatalf("unknown -format %q", *format)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *phases && rep.Timeline != nil {
+		fmt.Fprint(os.Stderr, rep.Timeline.Format())
 	}
 
 	if *tracePath != "" {
@@ -129,6 +174,20 @@ func main() {
 	}
 	if *heatPath != "" {
 		writeFile(*heatPath, func(f *os.File) error { return telemetry.WriteHeatmapCSV(f, col.IC, col.DC) })
+	}
+	if *timeline != "" {
+		writeFile(*timeline, func(f *os.File) error {
+			if strings.HasSuffix(*timeline, ".json") {
+				return telemetry.WriteTimelineJSON(f, col.Windows.Size, col.Windows.Records)
+			}
+			return telemetry.WriteTimelineCSV(f, col.Windows.Records)
+		})
+	}
+	if *manifest != "" {
+		man.Finish(start)
+		if err := man.Write(*manifest); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

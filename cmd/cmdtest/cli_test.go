@@ -1,0 +1,154 @@
+// Package cmdtest is the CLI contract suite: every command under cmd/
+// must report usage errors on stderr and exit 2 for unknown flags or
+// malformed invocations, and exit 1 (with the available choices named)
+// for unknown schemes — so scripts and CI can rely on the exit codes
+// without parsing output.
+package cmdtest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/program"
+)
+
+var (
+	binDir  string // built CLI binaries
+	imgPath string // a small assembled .img input
+	srcPath = filepath.Join("..", "..", "testdata", "sort.s")
+)
+
+// TestMain builds every cmd/* binary once into a temp dir and assembles
+// a small image for the input-consuming cases.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "cmdtest")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+
+	build := exec.Command("go", "build", "-o", dir, "./cmd/...")
+	build.Dir = filepath.Join("..", "..")
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building CLIs: %v\n%s", err, out)
+		os.Exit(1)
+	}
+
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	im, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	imgPath = filepath.Join(dir, "sort.img")
+	if err := program.SaveFile(imgPath, im); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	os.Exit(m.Run())
+}
+
+// anyNonZero marks cases where the exact code is tool-internal (cccheck
+// delegates to `go vet`, whose code varies) but success would be a bug.
+const anyNonZero = -1
+
+func TestCLIExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		tool   string
+		args   []string
+		want   int
+		stderr string // required substring of stderr
+	}{
+		// Unknown flags: the flag package prints the offending flag and
+		// the usage block to stderr and exits 2, for every CLI.
+		{"simrun/bogus-flag", "simrun", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"ccprof/bogus-flag", "ccprof", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"cccompress/bogus-flag", "cccompress", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"ccasm/bogus-flag", "ccasm", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"minicc/bogus-flag", "minicc", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"ccverify/bogus-flag", "ccverify", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"ccfuzz/bogus-flag", "ccfuzz", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"experiments/bogus-flag", "experiments", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"calibrate/bogus-flag", "calibrate", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"cclint/bogus-flag", "cclint", []string{"-bogusflag"}, 2, "flag provided but not defined"},
+		{"ccbench/run-bogus-flag", "ccbench", []string{"run", "-bogusflag"}, 2, "flag provided but not defined"},
+		{"cccheck/bogus-flag", "cccheck", []string{"-bogusflag"}, anyNonZero, ""},
+
+		// Malformed invocations: usage to stderr, exit 2.
+		{"simrun/no-args", "simrun", nil, 2, "Usage"},
+		{"ccprof/no-args", "ccprof", nil, 2, "Usage"},
+		{"cccompress/no-args", "cccompress", nil, 2, "Usage"},
+		{"ccasm/no-args", "ccasm", nil, 2, "Usage"},
+		{"minicc/no-args", "minicc", nil, 2, "Usage"},
+		{"ccverify/one-arg", "ccverify", []string{"a.img"}, 2, "Usage"},
+		{"experiments/no-work", "experiments", nil, 2, "Usage"},
+		{"cclint/no-work", "cclint", nil, 2, "Usage"},
+		{"ccbench/no-command", "ccbench", nil, 2, "usage"},
+		{"ccbench/unknown-command", "ccbench", []string{"frobnicate"}, 2, "unknown command"},
+		{"ccfuzz/positional-arg", "ccfuzz", []string{"stray"}, 2, "Usage"},
+		{"ccfuzz/bad-shadow", "ccfuzz", []string{"-shadow", "sideways"}, 2, "-shadow"},
+		{"ccfuzz/unknown-mutation", "ccfuzz", []string{"-mutate", "no-such-bug"}, 2, "unknown -mutate"},
+		{"ccprof/bad-format", "ccprof", []string{"-format", "yaml", imgMarker}, 2, "unknown -format"},
+
+		// Unknown schemes resolve through the codec registry: the error
+		// names the available schemes and the tool exits 1.
+		{"ccprof/unknown-scheme", "ccprof", []string{"-scheme", "zstd", srcMarker}, 1, "available"},
+		{"cccompress/unknown-scheme", "cccompress", []string{"-scheme", "zstd", imgMarker}, 1, "available"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			args := make([]string, len(tc.args))
+			for i, a := range tc.args {
+				switch a {
+				case imgMarker:
+					a = imgPath
+				case srcMarker:
+					a = srcPath
+				}
+				args[i] = a
+			}
+			cmd := exec.Command(filepath.Join(binDir, tc.tool), args...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			err := cmd.Run()
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("running %s: %v", tc.tool, err)
+			}
+			if tc.want == anyNonZero {
+				if code == 0 {
+					t.Errorf("%s %v exited 0; want a failure", tc.tool, args)
+				}
+			} else if code != tc.want {
+				t.Errorf("%s %v exited %d, want %d\nstderr:\n%s", tc.tool, args, code, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !bytes.Contains(stderr.Bytes(), []byte(tc.stderr)) {
+				t.Errorf("%s %v stderr missing %q:\n%s", tc.tool, args, tc.stderr, stderr.String())
+			}
+		})
+	}
+}
+
+// Markers expanded to the per-run temp paths at execution time (the
+// table is built before TestMain's artifacts exist in the entries).
+const (
+	imgMarker = "<img>"
+	srcMarker = "<src>"
+)

@@ -31,6 +31,7 @@ import (
 	_ "repro/internal/codec/all"
 	"repro/internal/decomp"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/program"
 )
 
@@ -68,6 +69,10 @@ func main() {
 	if *only != "" {
 		s.Only = strings.Split(*only, ",")
 	}
+	// Live shard progress on stderr; the tables themselves stay on stdout.
+	rep := obs.NewReporter("experiments", os.Stderr, obs.NewLogger("experiments", os.Stderr))
+	s.Progress = func(done, total int) { rep.Step(done, total, "") }
+	defer rep.Done()
 
 	if *all || *table1 {
 		fmt.Println(experiment.Table1())

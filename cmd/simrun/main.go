@@ -20,8 +20,10 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -30,6 +32,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simrun: ")
+	start := time.Now()
 	var (
 		icacheKB = flag.Int("icache", 16, "I-cache size in KB")
 		stats    = flag.Bool("stats", false, "print full statistics")
@@ -39,11 +42,28 @@ func main() {
 		traceN   = flag.Int("trace", 0, "dump the last N committed instructions")
 		telem    = flag.Bool("telemetry", false, "print the telemetry report (CPI stack, histograms, heatmaps)")
 		jsonOut  = flag.Bool("json", false, "print a machine-readable JSON report on stdout")
+		manifest = flag.String("manifest", "", "write the run manifest sidecar here")
 	)
 	flag.Parse()
 	if (*compare && flag.NArg() != 2) || (!*compare && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	man := obs.New("simrun")
+	man.SetConfig("icache_kb", fmt.Sprint(*icacheKB))
+	for _, path := range flag.Args() {
+		if err := man.AddInputFile(path, path); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *manifest != "" {
+		defer func() {
+			man.Finish(start)
+			if err := man.Write(*manifest); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	cfg := cpu.DefaultConfig()
@@ -65,6 +85,7 @@ func main() {
 	if *jsonOut {
 		rep := telemetry.NewReport(c, col)
 		rep.SetIdentity(flag.Arg(0), schemeOf(im), 0)
+		rep.SetManifest(man)
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatal(err)
 		}

@@ -424,9 +424,6 @@ func (c *CPU) execute(p *pinstr) error {
 			c.Tel.ExcReturn(next, c.Stats.Cycles, lat)
 		}
 	}
-	if c.Trace != nil {
-		c.Trace(pc, p.raw, wasHandler)
-	}
 	if wasHandler {
 		c.Stats.HandlerInstrs++
 	} else {
@@ -434,6 +431,13 @@ func (c *CPU) execute(p *pinstr) error {
 		if c.Prof != nil {
 			c.Prof.CountInstr(pc)
 		}
+	}
+	// The commit tracers fire after every Stats update for this
+	// instruction, so a tracer observing Stats (the telemetry window
+	// sampler) sees a consistent snapshot covering exactly the commits
+	// delivered so far.
+	if c.Trace != nil {
+		c.Trace(pc, p.raw, wasHandler)
 	}
 	c.pc = next
 	return nil

@@ -46,6 +46,10 @@ type CampaignConfig struct {
 	// outputs are identical for any worker count (except that Timeout
 	// skips depend on wall-clock behaviour, which concurrency perturbs).
 	Workers int
+	// Progress, when set, observes in-order case completion (done of
+	// total) for live reporting. Observability only: it must not affect
+	// results.
+	Progress func(done, total int)
 }
 
 // Finding is one JSONL record.
@@ -124,7 +128,7 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 		}
 	}
 	sum := &Summary{}
-	err := parallel.ForEachOrdered(cfg.Workers, cfg.Cases,
+	err := parallel.ForEachOrderedProgress(cfg.Workers, cfg.Cases,
 		func(i int) (caseOutcome, error) {
 			seed := cfg.StartSeed + int64(i)
 			p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
@@ -188,7 +192,8 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 				return parallel.ErrStop
 			}
 			return nil
-		})
+		},
+		cfg.Progress)
 	return sum, err
 }
 

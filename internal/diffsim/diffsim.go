@@ -28,6 +28,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/program"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -61,6 +62,11 @@ func (f *Failure) Error() string {
 }
 
 const defaultMaxSteps = 200_000
+
+// oracleWindowSize is the (deliberately small) telemetry window used by
+// the per-machine window samplers, so most fuzz cases exercise several
+// rollovers including mid-handler ones.
+const oracleWindowSize = 512
 
 // BuildImages assembles the program and produces the five image
 // variants. The selective image leaves a deterministic, seed-dependent
@@ -136,10 +142,20 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 	// mismatch (a stale entry surviving a swic overwrite) fails the run.
 	cfg.PredecodeCheck = true
 	orc := newOracle(images)
+	// Each machine also carries a telemetry window sampler with a small
+	// window, so every fuzz case additionally proves the windowed-
+	// telemetry sum invariant (component-wise window sums == whole-run
+	// stats) on all five image kinds.
+	samplers := make([]*telemetry.WindowSampler, len(images))
 	results, runErr := verify.LockstepMulti(images, verify.MultiConfig{
 		CPU:      cfg,
 		MaxSteps: maxSteps,
 		OnCommit: orc.onCommit,
+		Attach: func(img int, c *cpu.CPU) {
+			s := telemetry.NewWindowSampler(oracleWindowSize)
+			s.Attach(c)
+			samplers[img] = s
+		},
 	})
 	fail := func(img int, reason string) (*Failure, error) {
 		kind := ""
@@ -170,6 +186,9 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 		}
 	}
 	if reason, img := orc.checkFinal(results, cfg); reason != "" {
+		return fail(img, reason)
+	}
+	if reason, img := checkWindows(samplers); reason != "" {
 		return fail(img, reason)
 	}
 	return nil, nil

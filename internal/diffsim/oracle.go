@@ -19,8 +19,25 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
+
+// checkWindows runs each machine's window-sampler sum invariant: the
+// component-wise sum of all window records must reproduce the whole-run
+// statistics exactly. Runs after a clean checkFinal; a violation is a
+// telemetry finding attributed to the offending image.
+func checkWindows(samplers []*telemetry.WindowSampler) (string, int) {
+	for i, s := range samplers {
+		if s == nil {
+			continue
+		}
+		if err := s.Verify(); err != nil {
+			return fmt.Sprintf("window telemetry: %v", err), i
+		}
+	}
+	return "", 0
+}
 
 type opCounts struct {
 	jr           uint64 // jr + jalr (any mode)

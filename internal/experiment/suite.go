@@ -40,6 +40,10 @@ type Suite struct {
 	// many goroutines (<= 0 = GOMAXPROCS, 1 = serial). Row order and
 	// simulated values are identical for every worker count.
 	Workers int
+	// Progress, when set, observes in-order shard completion (done of
+	// total) from the table producers. Observability only: it must not
+	// affect results.
+	Progress func(done, total int)
 
 	mu     sync.Mutex // guards states
 	states map[string]*benchState

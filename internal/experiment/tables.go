@@ -52,7 +52,7 @@ type Table2Row struct {
 // sharding the per-benchmark work across s.Workers goroutines.
 func (s *Suite) Table2() ([]Table2Row, error) {
 	benches := s.Benchmarks()
-	rows, err := parallel.Map(s.Workers, len(benches), func(i int) (Table2Row, error) {
+	rows, err := parallel.MapProgress(s.Workers, len(benches), func(i int) (Table2Row, error) {
 		p := benches[i]
 		st, err := s.state(p)
 		if err != nil {
@@ -82,7 +82,7 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			CPRatio:       cp.Ratio(),
 			LZRW1Ratio:    lzrw1.Ratio(text.Data),
 		}, nil
-	})
+	}, s.Progress)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ type Table3Row struct {
 // goroutines.
 func (s *Suite) Table3() ([]Table3Row, error) {
 	benches := s.Benchmarks()
-	rows, err := parallel.Map(s.Workers, len(benches), func(i int) (Table3Row, error) {
+	rows, err := parallel.MapProgress(s.Workers, len(benches), func(i int) (Table3Row, error) {
 		p := benches[i]
 		st, err := s.state(p)
 		if err != nil {
@@ -145,7 +145,7 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 			*v.dst = slowdown(o, nat)
 		}
 		return row, nil
-	})
+	}, s.Progress)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,54 @@
+// Package obs is the host-side observability substrate shared by every
+// CLI: structured slog logging with a common schema, run manifests
+// (provenance: input hashes, registered codecs, config, git SHA,
+// timings) written next to artifacts and embedded in telemetry reports,
+// and a rate-limited progress reporter (TTY status line or non-TTY
+// heartbeat log) for long campaigns.
+//
+// obs is deliberately outside the deterministic package set checked by
+// cccheck detsafe: it reads wall clocks, the environment and the tty —
+// none of which may influence simulated results. Everything obs writes
+// into deterministic artifacts (the manifest's Provenance form) is
+// timing-free; wall-clock timings only appear in sidecar files.
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// NewLogger returns the shared structured logger: text (or JSON when
+// RTD_LOG=json) to w with a `tool` attribute on every record, so multi-
+// tool pipelines produce greppable, schema-consistent logs. nil w means
+// stderr.
+func NewLogger(tool string, w io.Writer) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	if os.Getenv("RTD_LOG") == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h).With("tool", tool)
+}
+
+// GitSHA is a best-effort commit id for manifests and fingerprints:
+// GITHUB_SHA in CI, otherwise git on the working tree, otherwise empty.
+func GitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -187,6 +187,26 @@ func runCompute[T any](compute func(i int) (T, error), i int) (it item[T]) {
 	return item[T]{idx: i, val: v, err: err}
 }
 
+// ForEachOrderedProgress is ForEachOrdered with a progress callback:
+// after each successful in-order delivery, progress(delivered, n) runs
+// on the calling goroutine. progress is observability-only — it must
+// not influence results — and a nil progress degrades to the plain
+// variant. Cancelled or discarded indices (after ErrStop/panic) are not
+// reported, so the progress sequence is as deterministic as the
+// delivery prefix.
+func ForEachOrderedProgress[T any](workers, n int, compute func(i int) (T, error), deliver func(i int, v T, err error) error, progress func(done, total int)) error {
+	if progress == nil {
+		return ForEachOrdered(workers, n, compute, deliver)
+	}
+	return ForEachOrdered(workers, n, compute, func(i int, v T, err error) error {
+		derr := deliver(i, v, err)
+		if derr == nil {
+			progress(i+1, n)
+		}
+		return derr
+	})
+}
+
 // Map computes fn(0..n-1) on `workers` goroutines (<= 0 = GOMAXPROCS)
 // and returns the results in index order. Every index is computed even
 // when some fail; the returned error is the lowest-index one, so the
@@ -200,6 +220,29 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		return nil
+	})
+	if firstErr == nil {
+		firstErr = err
+	}
+	return out, firstErr
+}
+
+// MapProgress is Map with a progress callback invoked on the calling
+// goroutine after each in-order result lands (including failed ones —
+// Map computes every index). nil progress degrades to Map.
+func MapProgress[T any](workers, n int, fn func(i int) (T, error), progress func(done, total int)) ([]T, error) {
+	if progress == nil {
+		return Map(workers, n, fn)
+	}
+	out := make([]T, n)
+	var firstErr error
+	err := ForEachOrdered(workers, n, fn, func(i int, v T, err error) error {
+		out[i] = v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		progress(i+1, n)
 		return nil
 	})
 	if firstErr == nil {

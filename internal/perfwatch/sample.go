@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/codec"
 	"repro/internal/cpu"
 )
 
@@ -148,6 +149,9 @@ type Fingerprint struct {
 	Scale      float64 `json:"scale"`
 	Reps       int     `json:"reps"`
 	GitSHA     string  `json:"git_sha,omitempty"`
+	// Codecs are the registered codec names (sorted), so a trajectory
+	// entry records exactly which compression schemes the build carried.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // NewFingerprint captures the current process configuration. GitSHA is
@@ -163,6 +167,7 @@ func NewFingerprint(scale float64, reps int) Fingerprint {
 		Hostname:   host,
 		Scale:      scale,
 		Reps:       reps,
+		Codecs:     codec.Names(),
 	}
 }
 

@@ -15,29 +15,34 @@ import (
 // reported as microseconds (the format's native unit), so "1 µs" in the
 // viewer is one machine cycle.
 //
-// Two tracks are emitted under one process:
+// Three tracks are emitted under one process:
 //   - tid 1 "decompression handler": one complete ("X") span per
 //     exception service interval, entry flush to iret, named by the
 //     faulting address (and its procedure when the image is known);
 //   - tid 2 "memory system": one span per non-exception I-cache line
-//     fill, covering the fetch stall.
+//     fill, covering the fetch stall;
+//   - tid 3 "timeline counters" (when a WindowSampler is attached):
+//     per-window counter ("C") samples — see counterEvents.
 
 const (
-	tracePID        = 1
-	traceTIDHandler = 1
-	traceTIDMemory  = 2
+	tracePID         = 1
+	traceTIDHandler  = 1
+	traceTIDMemory   = 2
+	traceTIDTimeline = 3
 )
 
-// traceEvent is one Trace Event Format record.
+// traceEvent is one Trace Event Format record. Args values are strings
+// for span metadata and numbers for counter ("C") samples; encoding/json
+// sorts the map keys, so emission stays byte-deterministic.
 type traceEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	TS   uint64            `json:"ts"`
-	Dur  uint64            `json:"dur,omitempty"`
-	PID  int               `json:"pid"`
-	TID  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 type traceFile struct {
@@ -48,8 +53,36 @@ type traceFile struct {
 func metaEvent(name, value string, tid int) traceEvent {
 	return traceEvent{
 		Name: name, Ph: "M", PID: tracePID, TID: tid,
-		Args: map[string]string{"name": value},
+		Args: map[string]any{"name": value},
 	}
+}
+
+// counterEvents renders the window records as Perfetto counter tracks:
+// one "C" sample per window at the window's start cycle, for the CPI
+// stack (stacked per-component series), the miss/exception counts, and
+// the decompression burst traffic. Alongside the handler spans these
+// show *when* the decompression cost was paid, not just how much.
+func counterEvents(ws *WindowSampler) []traceEvent {
+	events := []traceEvent{
+		metaEvent("thread_name", "timeline counters", traceTIDTimeline),
+	}
+	for _, r := range ws.Records {
+		stack := make(map[string]any, cpu.NumCycleKinds)
+		for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+			stack[k.Key()] = r.CPIStack[k]
+		}
+		counter := func(name string, args map[string]any) traceEvent {
+			return traceEvent{Name: name, Cat: "timeline", Ph: "C",
+				TS: r.StartCycle, PID: tracePID, TID: traceTIDTimeline, Args: args}
+		}
+		events = append(events,
+			counter("cpi_stack", stack),
+			counter("imiss", map[string]any{"native": r.IMissNative, "compressed": r.IMissCompressed}),
+			counter("exceptions", map[string]any{"count": r.Exceptions}),
+			counter("bus_bytes", map[string]any{"bytes": r.BusBytes}),
+		)
+	}
+	return events
 }
 
 // WriteChromeTrace writes the collector's recorded spans and fill
@@ -73,7 +106,7 @@ func (t *Collector) WriteChromeTrace(w io.Writer, im *program.Image) error {
 		events = append(events, traceEvent{
 			Name: "decompress " + name(s.PC), Cat: "handler", Ph: "X",
 			TS: s.Start, Dur: s.End - s.Start, PID: tracePID, TID: traceTIDHandler,
-			Args: map[string]string{"pc": fmt.Sprintf("%#x", s.PC)},
+			Args: map[string]any{"pc": fmt.Sprintf("%#x", s.PC)},
 		})
 	}
 	for _, f := range t.Fills {
@@ -84,8 +117,12 @@ func (t *Collector) WriteChromeTrace(w io.Writer, im *program.Image) error {
 		events = append(events, traceEvent{
 			Name: cat + " " + name(f.PC), Cat: cat, Ph: "X",
 			TS: f.Cycle, Dur: f.Stall, PID: tracePID, TID: traceTIDMemory,
-			Args: map[string]string{"pc": fmt.Sprintf("%#x", f.PC)},
+			Args: map[string]any{"pc": fmt.Sprintf("%#x", f.PC)},
 		})
+	}
+	if t.Windows != nil {
+		t.Windows.Finish()
+		events = append(events, counterEvents(t.Windows)...)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})

@@ -63,6 +63,12 @@ type Collector struct {
 	BranchResolved    uint64
 	BranchMispredicts uint64
 
+	// Windows, when set before Attach, samples the full CPI stack,
+	// miss/exception counts and bus bytes every Windows.Size committed
+	// instructions (the timeline behind ccprof -timeline and the
+	// Perfetto counter tracks).
+	Windows *WindowSampler
+
 	cpu     *cpu.CPU
 	openPC  uint32 // pc of the open exception span
 	openAt  uint64
@@ -99,13 +105,28 @@ func (t *Collector) Attach(c *cpu.CPU) {
 			t.BranchMispredicts++
 		}
 	}
-	c.AttachTrace(func(pc, instr uint32, handler bool) {
-		if handler {
-			t.CommittedHandler++
-		} else {
-			t.CommittedUser++
-		}
-	})
+	// One tracer serves both the commit counters and the window sampler:
+	// fusing them keeps the hot path at a single indirect call per
+	// commit instead of an AttachTrace-composed chain.
+	if ws := t.Windows; ws != nil {
+		ws.Bind(c)
+		c.AttachTrace(func(pc, instr uint32, handler bool) {
+			if handler {
+				t.CommittedHandler++
+			} else {
+				t.CommittedUser++
+			}
+			ws.Tick()
+		})
+	} else {
+		c.AttachTrace(func(pc, instr uint32, handler bool) {
+			if handler {
+				t.CommittedHandler++
+			} else {
+				t.CommittedUser++
+			}
+		})
+	}
 }
 
 // CPU returns the machine the collector is attached to (nil before

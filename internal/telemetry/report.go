@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 )
 
 // ReportSchema versions the shared report schema emitted by ccprof,
@@ -15,10 +16,14 @@ import (
 //	1 — PR 3 initial shape (implicit: reports carried no version field).
 //	2 — adds the self-describing `config` stanza (scheme, seed, cache
 //	    geometry) carrying `schema_version`.
+//	3 — adds the `timeline` phase-summary stanza (windowed CPI-stack
+//	    sampling; filled when a WindowSampler was attached) and the
+//	    embedded `manifest` provenance stanza (timing-free obs.Manifest:
+//	    tool, args, codec registry, input hashes, git SHA).
 //
 // Additive changes (new fields) do not bump the version; renames and
 // semantic changes do.
-const ReportSchema = 2
+const ReportSchema = 3
 
 // CacheGeometry describes one cache's configuration.
 type CacheGeometry struct {
@@ -112,6 +117,15 @@ type Report struct {
 	FillLatency *HistSummary `json:"fill_latency,omitempty"`
 	BurstBytes  *HistSummary `json:"burst_bytes,omitempty"`
 
+	// Timeline is the windowed-sampling phase summary (schema v3+),
+	// filled by NewReport when the collector carried a WindowSampler.
+	Timeline *TimelineSummary `json:"timeline,omitempty"`
+
+	// Manifest is the embedded run provenance (schema v3+), set by
+	// SetManifest. Always the timing-free Provenance form, so identical
+	// runs produce byte-identical reports.
+	Manifest *obs.Manifest `json:"manifest,omitempty"`
+
 	DroppedEvents uint64 `json:"dropped_events,omitempty"`
 	ExitCode      int32  `json:"exit_code"`
 }
@@ -189,8 +203,23 @@ func NewReport(c *cpu.CPU, t *Collector) *Report {
 		r.FillLatency = t.FillLatency.Summary()
 		r.BurstBytes = t.BurstBytes.Summary()
 		r.DroppedEvents = t.DroppedEvents
+		if t.Windows != nil {
+			t.Windows.Finish()
+			r.Timeline = SummarizeTimeline(t.Windows.Size, t.Windows.Records, 5)
+		}
 	}
 	return r
+}
+
+// SetManifest embeds the run's provenance (always the timing-free
+// Provenance copy, regardless of what the caller passes) so the report
+// is self-describing down to input hashes and the codec registry.
+func (r *Report) SetManifest(m *obs.Manifest) {
+	if m == nil {
+		r.Manifest = nil
+		return
+	}
+	r.Manifest = m.Provenance()
 }
 
 // SetIdentity records what ran: the image name, the compression scheme
@@ -261,6 +290,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		row("dcache.misses", r.DCache.Misses)
 		row("dcache.miss_ratio", fmt.Sprintf("%.6f", r.DCache.MissRatio))
 	}
+	if r.Timeline != nil {
+		row("timeline.windows", r.Timeline.Windows)
+		row("timeline.window_size", r.Timeline.WindowSize)
+		row("timeline.cpi_min", fmt.Sprintf("%.4f", r.Timeline.CPIMin))
+		row("timeline.cpi_mean", fmt.Sprintf("%.4f", r.Timeline.CPIMean))
+		row("timeline.cpi_max", fmt.Sprintf("%.4f", r.Timeline.CPIMax))
+	}
 	row("exit_code", r.ExitCode)
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -303,6 +339,9 @@ func (r *Report) WriteText(w io.Writer, t *Collector) error {
 	fmt.Fprintf(&b, "branches: %d resolved, %d mispredicted (%.2f%%)\n",
 		r.Branch.Lookups, r.Branch.Mispredicts, r.Branch.MispredictRate*100)
 	fmt.Fprintf(&b, "bus: %d reads, %d bytes\n", r.Bus.Reads, r.Bus.BytesRead)
+	if r.Timeline != nil {
+		b.WriteString(r.Timeline.Format())
+	}
 	if t != nil {
 		b.WriteString(t.ExcLatency.String())
 		b.WriteString(t.FillLatency.String())

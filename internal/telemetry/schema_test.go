@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -66,7 +67,7 @@ func TestReportConfigStanza(t *testing.T) {
 	if err := rep.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"config.schema_version,2", "config.seed,42", "config.icache,"} {
+	for _, want := range []string{fmt.Sprintf("config.schema_version,%d", ReportSchema), "config.seed,42", "config.icache,"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("CSV missing %q:\n%s", want, buf.String())
 		}

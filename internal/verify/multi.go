@@ -35,6 +35,11 @@ type MultiConfig struct {
 	// machine (img is the image index, handler marks handler commits).
 	// It runs after the instruction's architectural effects.
 	OnCommit func(img int, c *cpu.CPU, pc, instr uint32, handler bool)
+	// Attach, when set, runs once per machine after the lockstep trace
+	// hook is installed and before the image loads — the point where
+	// observers (telemetry window samplers) can compose onto c via
+	// cpu.AttachTrace without being clobbered.
+	Attach func(img int, c *cpu.CPU)
 }
 
 // MultiResult is the final state of one machine after LockstepMulti.
@@ -112,6 +117,9 @@ func newMMachine(idx int, im *program.Image, cfg *MultiConfig) (*mmachine, error
 		if cfg.OnCommit != nil {
 			cfg.OnCommit(idx, c, pc, instr, handler)
 		}
+	}
+	if cfg.Attach != nil {
+		cfg.Attach(idx, c)
 	}
 	if err := c.Load(im); err != nil {
 		return nil, err

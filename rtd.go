@@ -172,6 +172,46 @@ func InstrumentedRun(im *Image, cfg MachineConfig) (RunResult, *Report, *Collect
 	return res, telemetry.NewReport(c, col), col, nil
 }
 
+// WindowSampler is the windowed time-series telemetry sampler: cpu.Stats
+// deltas snapshotted every N committed instructions.
+type WindowSampler = telemetry.WindowSampler
+
+// WindowRecord is one window's Stats delta.
+type WindowRecord = telemetry.WindowRecord
+
+// WindowedRun is InstrumentedRun plus windowed time-series sampling:
+// the collector carries a WindowSampler with the given window size
+// (0 = telemetry.DefaultWindowSize), the report gains its phase summary,
+// and the window sum invariant (component-wise window sums bit-identical
+// to the whole-run Stats) is verified before returning — a violation is
+// an error, never silent.
+func WindowedRun(im *Image, cfg MachineConfig, window uint64) (RunResult, *Report, *Collector, error) {
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 2_000_000_000
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	col := telemetry.New()
+	col.Windows = telemetry.NewWindowSampler(window)
+	col.Attach(c)
+	var out bytes.Buffer
+	c.Out = &out
+	if err := c.Load(im); err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	code, err := c.Run()
+	if err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	if err := col.Windows.Verify(); err != nil {
+		return RunResult{}, nil, nil, err
+	}
+	res := RunResult{ExitCode: code, Output: out.String(), Stats: c.Stats}
+	return res, telemetry.NewReport(c, col), col, nil
+}
+
 func runWith(im *Image, cfg MachineConfig, profiled bool) (RunResult, *ProcProfile, error) {
 	if cfg.MaxInstr == 0 {
 		cfg.MaxInstr = 2_000_000_000
