@@ -21,11 +21,20 @@
 //	                                    windows by decompression share
 //	ccprof -manifest run.manifest.json prog.img
 //	                                    write the run manifest sidecar
+//	ccprof -profile prof.json prog.img  write the per-line/per-procedure
+//	                                    attribution artifact (.csv = CSV)
+//	ccprof -procs -lines prog.img       print the attribution tables
+//	ccprof diff old.json new.json       rank the cycle delta between two
+//	                                    profile artifacts by procedure
+//	                                    and cache line
+//	ccprof diff -json old.json new.json
 //
-// Every run embeds a provenance manifest in the report (schema v3);
-// -manifest additionally writes the sidecar form with wall-clock
-// timings. The simulated program's own output goes to stderr so the
-// report stream stays machine-readable.
+// Every run embeds a provenance manifest in the report (schema v3) and
+// attaches a profile.Recorder whose attribution invariant — per-line
+// and per-procedure sums bit-identical to the whole-run stats — is
+// verified before anything is written; -manifest additionally writes
+// the sidecar form with wall-clock timings. The simulated program's own
+// output goes to stderr so the report stream stays machine-readable.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/selective"
 	"repro/internal/synth"
@@ -51,6 +61,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ccprof: ")
+	// Subcommand dispatch happens before flag.Parse so `diff` keeps its
+	// own flag set and usage.
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	start := time.Now()
 	var (
 		bench     = flag.String("bench", "", "profile a synthetic benchmark instead of a file")
@@ -69,6 +85,9 @@ func main() {
 		window    = flag.Uint64("window", 0, "timeline window size in committed instructions (0 = default)")
 		phases    = flag.Bool("phases", false, "print the timeline phase summary to stderr")
 		manifest  = flag.String("manifest", "", "write the run manifest sidecar here")
+		profPath  = flag.String("profile", "", "write the attribution artifact here (.csv = CSV, else JSON)")
+		lines     = flag.Bool("lines", false, "print the per-cache-line attribution table")
+		procs     = flag.Bool("procs", false, "print the per-procedure attribution table")
 	)
 	flag.Parse()
 	if (*bench == "") == (flag.NArg() != 1) {
@@ -129,18 +148,22 @@ func main() {
 	col := telemetry.New()
 	col.Windows = telemetry.NewWindowSampler(*window)
 	man.SetConfig("window", fmt.Sprint(col.Windows.Size))
-	prof, rep, err := profiledRun(im, cfg, col)
+	prof, attr, rep, err := profiledRun(im, cfg, col)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// The hard timeline invariant: component-wise window sums must be
 	// bit-identical to the whole-run stats. A violation is a simulator
-	// bug, so it fails the run loudly.
+	// bug, so it fails the run loudly. (The matching spatial invariant —
+	// attribution sums — was already verified inside profiledRun.)
 	if err := col.Windows.Verify(); err != nil {
 		log.Fatal(err)
 	}
 	rep.SetIdentity(name, schemeOf(im), seed)
 	rep.SetManifest(man)
+	attr.SetIdentity(name, schemeOf(im))
+	attr.SetManifest(man)
+	rep.SetAttribution(attr)
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -164,6 +187,17 @@ func main() {
 	}
 	if *phases && rep.Timeline != nil {
 		fmt.Fprint(os.Stderr, rep.Timeline.Format())
+	}
+	if *procs {
+		fmt.Print(attr.FormatProcs(25))
+	}
+	if *lines {
+		fmt.Print(attr.FormatLines(25))
+	}
+	if *profPath != "" {
+		if err := attr.WriteFile(*profPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *tracePath != "" {
@@ -251,24 +285,70 @@ func nativeProfile(im *program.Image, cfg cpu.Config) (*cpu.ProcProfile, error) 
 	return prof, nil
 }
 
-// profiledRun executes im with the collector and profiler attached and
-// digests the machine into a report.
-func profiledRun(im *program.Image, cfg cpu.Config, col *telemetry.Collector) (*cpu.ProcProfile, *telemetry.Report, error) {
+// profiledRun executes im with the collector, the exec/miss profiler
+// and the cost-attribution recorder attached, verifies the attribution
+// sum invariant, and digests the machine into a report.
+func profiledRun(im *program.Image, cfg cpu.Config, col *telemetry.Collector) (*cpu.ProcProfile, *profile.Profile, *telemetry.Report, error) {
 	c, err := cpu.New(cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	col.Attach(c)
+	rec := profile.NewRecorder(im)
+	rec.Attach(c)
 	prof := cpu.NewProcProfile(im)
 	c.Prof = prof
 	c.Out = os.Stderr
 	if err := c.Load(im); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if _, err := c.Run(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return prof, telemetry.NewReport(c, col), nil
+	if err := rec.Verify(); err != nil {
+		return nil, nil, nil, err
+	}
+	return prof, rec.Profile(), telemetry.NewReport(c, col), nil
+}
+
+// runDiff is the `ccprof diff` subcommand: load two profile artifacts,
+// align them by procedure and cache line, and print the ranked cycle
+// differential (text or JSON). Exit 2 on flag misuse, 1 on unreadable,
+// corrupted or schema-mismatched artifacts.
+func runDiff(args []string) {
+	fs := flag.NewFlagSet("ccprof diff", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print the ranked differential as JSON")
+	top := fs.Int("top", 10, "rows per section in the text form (0 = all)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "Usage: ccprof diff [-json] [-top N] <old.json> <new.json>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	old, err := profile.Load(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	new, err := profile.Load(fs.Arg(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := profile.DiffProfiles(old, new)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := d.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(d.Format(*top))
 }
 
 func schemeOf(im *program.Image) string {

@@ -103,6 +103,18 @@ func TestCLIExitCodes(t *testing.T) {
 		{"ccfuzz/unknown-mutation", "ccfuzz", []string{"-mutate", "no-such-bug"}, 2, "unknown -mutate"},
 		{"ccprof/bad-format", "ccprof", []string{"-format", "yaml", imgMarker}, 2, "unknown -format"},
 
+		// The ccprof diff subcommand keeps the same contract: flag misuse
+		// and malformed invocations exit 2 with usage, unreadable
+		// artifacts exit 1.
+		{"ccprof/diff-no-args", "ccprof", []string{"diff"}, 2, "Usage"},
+		{"ccprof/diff-one-arg", "ccprof", []string{"diff", "only.json"}, 2, "Usage"},
+		{"ccprof/diff-bogus-flag", "ccprof", []string{"diff", "-bogusflag"}, 2, "flag provided but not defined"},
+		{"ccprof/diff-missing-file", "ccprof", []string{"diff", "no-such-old.json", "no-such-new.json"}, 1, "no such file"},
+
+		// The attribution table flags run the ordinary profiled path.
+		{"simrun/profile", "simrun", []string{"-profile", imgMarker}, 0, ""},
+		{"ccprof/procs", "ccprof", []string{"-procs", imgMarker}, 0, ""},
+
 		// Unknown schemes resolve through the codec registry: the error
 		// names the available schemes and the tool exits 1.
 		{"ccprof/unknown-scheme", "ccprof", []string{"-scheme", "zstd", srcMarker}, 1, "available"},

@@ -1,0 +1,113 @@
+package cmdtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestProfileArtifactContract drives the attribution surface end to
+// end through the built binaries: `ccprof -profile` writes a verified
+// artifact, `ccprof diff` of a profile against itself reports a zero
+// delta, a schema-mismatched artifact is refused naming both versions,
+// and a corrupted artifact (sum invariant broken) is refused before
+// any numbers are trusted.
+func TestProfileArtifactContract(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+
+	run := func(want int, tool string, args ...string) (stdout, stderr string) {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(binDir, tool), args...)
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running %s: %v", tool, err)
+		}
+		if code != want {
+			t.Fatalf("%s %v exited %d, want %d\nstderr:\n%s", tool, args, code, want, errb.String())
+		}
+		return out.String(), errb.String()
+	}
+
+	// A profiled run writes the artifact; the attribution invariant was
+	// verified in-process before the write.
+	run(0, "ccprof", "-profile", base, imgPath)
+
+	// Self-diff: zero total delta, no changed sections.
+	stdout, _ := run(0, "ccprof", "diff", base, base)
+	if !strings.Contains(stdout, "(+0") {
+		t.Errorf("self-diff should report a zero delta:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "procedures (") {
+		t.Errorf("self-diff reported changed procedures:\n%s", stdout)
+	}
+
+	// -json emits the machine form with the same zero delta.
+	stdout, _ = run(0, "ccprof", "diff", "-json", base, base)
+	var d struct {
+		DeltaCycles int64 `json:"delta_cycles"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &d); err != nil {
+		t.Fatalf("diff -json output unparsable: %v", err)
+	}
+	if d.DeltaCycles != 0 {
+		t.Errorf("self-diff JSON delta %d, want 0", d.DeltaCycles)
+	}
+
+	var doc map[string]any
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schema mismatch: refused, exit 1, both versions named.
+	doc["schema_version"] = float64(99)
+	mismatched := filepath.Join(dir, "schema99.json")
+	writeJSON(t, mismatched, doc)
+	_, stderr := run(1, "ccprof", "diff", mismatched, base)
+	if !strings.Contains(stderr, "schema 99") || !strings.Contains(stderr, "schema 1") {
+		t.Errorf("schema refusal must name both versions:\n%s", stderr)
+	}
+
+	// Corruption: a single perturbed line record breaks the sum
+	// invariant and the artifact is refused at load.
+	doc["schema_version"] = float64(1)
+	lines := doc["lines"].([]any)
+	line0 := lines[0].(map[string]any)
+	line0["cycles"] = line0["cycles"].(float64) + 5
+	corrupted := filepath.Join(dir, "corrupt.json")
+	writeJSON(t, corrupted, doc)
+	_, stderr = run(1, "ccprof", "diff", corrupted, base)
+	if !strings.Contains(stderr, "sum invariant") {
+		t.Errorf("corrupted artifact accepted:\n%s", stderr)
+	}
+
+	// simrun's attribution table names procedures with their cycles.
+	stdout, _ = run(0, "simrun", "-profile", imgPath)
+	if !strings.Contains(stdout, "procedure") || !strings.Contains(stdout, "decomp") {
+		t.Errorf("simrun -profile table missing attribution columns:\n%s", stdout)
+	}
+}
+
+func writeJSON(t *testing.T, path string, doc any) {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 //	experiments -layout           the memory layout (Figure 3)
 //	experiments -ablations        design-choice ablations beyond the paper
 //	experiments -placement        selective compression + code placement study
+//	experiments -profileguided    profile-guided selection vs exec/miss policies
 //	experiments -granularity      line vs procedure decompression granularity
 //	experiments -latency          exception service latency per handler
 //	experiments -hardware         software vs hardware decompression
@@ -48,6 +49,7 @@ func main() {
 		layout   = flag.Bool("layout", false, "print the memory layout (Figure 3)")
 		ablate   = flag.Bool("ablations", false, "run the design-choice ablations")
 		place    = flag.Bool("placement", false, "run the selective-compression + code-placement study")
+		guided   = flag.Bool("profileguided", false, "compare profile-guided selection against exec/miss policies")
 		gran     = flag.Bool("granularity", false, "compare line vs procedure decompression granularity")
 		latency  = flag.Bool("latency", false, "measure exception service latency per handler")
 		hw       = flag.Bool("hardware", false, "compare software vs hardware decompression")
@@ -59,7 +61,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for per-benchmark sharding (<=0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if !(*all || *table1 || *table2 || *table3 || *fig4 || *fig5 || *handlers || *layout || *ablate || *place || *gran || *latency || *hw || *cpistack || *comp || *csvDir != "") {
+	if !(*all || *table1 || *table2 || *table3 || *fig4 || *fig5 || *handlers || *layout || *ablate || *place || *guided || *gran || *latency || *hw || *cpistack || *comp || *csvDir != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -109,6 +111,11 @@ func main() {
 		rows, err := s.Placement()
 		check(err)
 		fmt.Println(experiment.FormatPlacement(rows))
+	}
+	if *all || *guided {
+		rows, err := s.ProfileGuided()
+		check(err)
+		fmt.Println(experiment.FormatProfileGuided(rows))
 	}
 	if *all || *gran {
 		rows, err := s.Granularity()

@@ -4,7 +4,10 @@
 //	simrun prog.img                      run with the paper's Table 1 machine
 //	simrun -icache 64 prog.img           with a 64KB I-cache
 //	simrun -stats prog.img               print the full statistics block
-//	simrun -profile prog.img             per-procedure exec/miss profile
+//	simrun -profile prog.img             measured per-procedure cost
+//	                                     attribution (cycles, I-misses,
+//	                                     decompression overhead), verified
+//	                                     against the whole-run stats
 //	simrun -trace 40 prog.img            dump the last 40 instructions
 //	simrun -compare native.img comp.img  run both, report the slowdown
 //	simrun -telemetry prog.img           CPI stack, histograms, cache heatmaps
@@ -19,11 +22,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -36,7 +39,7 @@ func main() {
 	var (
 		icacheKB = flag.Int("icache", 16, "I-cache size in KB")
 		stats    = flag.Bool("stats", false, "print full statistics")
-		profile  = flag.Bool("profile", false, "print the per-procedure profile")
+		profTbl  = flag.Bool("profile", false, "print the measured per-procedure cost attribution")
 		compare  = flag.Bool("compare", false, "run two images and report the slowdown")
 		maxInstr = flag.Uint64("max", 2_000_000_000, "instruction budget")
 		traceN   = flag.Int("trace", 0, "dump the last N committed instructions")
@@ -74,7 +77,7 @@ func main() {
 	if *telem || *jsonOut {
 		col = telemetry.New()
 	}
-	c, prof, im := run(flag.Arg(0), cfg, *profile, *traceN, col, *jsonOut)
+	c, attr, im := run(flag.Arg(0), cfg, *profTbl, *traceN, col, *jsonOut)
 	first := c.Stats
 	if *compare {
 		c2, _, _ := run(flag.Arg(1), cfg, false, 0, nil, *jsonOut)
@@ -103,8 +106,8 @@ func main() {
 			s.Exceptions, s.AvgExcCycles(), s.ExcCyclesMax)
 		fmt.Printf("fetch/load stall cycles: %d/%d\n", s.FetchStalls, s.LoadStalls)
 	}
-	if *profile && prof != nil {
-		printProfile(prof)
+	if *profTbl && attr != nil {
+		fmt.Print(attr.FormatProcs(25))
 	}
 	if *telem {
 		rep := telemetry.NewReport(c, col)
@@ -122,7 +125,7 @@ func schemeOf(im *program.Image) string {
 	return string(im.Compress.Scheme)
 }
 
-func run(path string, cfg cpu.Config, profiled bool, traceN int, col *telemetry.Collector, quiet bool) (*cpu.CPU, *cpu.ProcProfile, *program.Image) {
+func run(path string, cfg cpu.Config, profiled bool, traceN int, col *telemetry.Collector, quiet bool) (*cpu.CPU, *profile.Profile, *program.Image) {
 	im, err := program.LoadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -134,10 +137,10 @@ func run(path string, cfg cpu.Config, profiled bool, traceN int, col *telemetry.
 	if col != nil {
 		col.Attach(c)
 	}
-	var prof *cpu.ProcProfile
+	var rec *profile.Recorder
 	if profiled {
-		prof = cpu.NewProcProfile(im)
-		c.Prof = prof
+		rec = profile.NewRecorder(im)
+		rec.Attach(c)
 	}
 	var ring *trace.Ring
 	if traceN > 0 {
@@ -161,26 +164,16 @@ func run(path string, cfg cpu.Config, profiled bool, traceN int, col *telemetry.
 	if !quiet {
 		fmt.Printf("\n[%s exited with code %d]\n", path, code)
 	}
-	return c, prof, im
-}
-
-func printProfile(p *cpu.ProcProfile) {
-	order := make([]int, len(p.Procs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return p.Misses[order[a]] > p.Misses[order[b]] })
-	fmt.Printf("%-12s %12s %10s\n", "procedure", "instructions", "misses")
-	shown := 0
-	for _, i := range order {
-		if p.Execs[i] == 0 && p.Misses[i] == 0 {
-			continue
+	var attr *profile.Profile
+	if rec != nil {
+		// The attribution sum invariant is a simulator contract: a
+		// violation means the recorder missed or double-counted cycles,
+		// so the run fails rather than printing wrong numbers.
+		if err := rec.Verify(); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%-12s %12d %10d\n", p.Procs[i].Name, p.Execs[i], p.Misses[i])
-		shown++
-		if shown >= 25 {
-			fmt.Printf("... (%d more procedures)\n", len(order)-shown)
-			break
-		}
+		attr = rec.Profile()
+		attr.SetIdentity(path, schemeOf(im))
 	}
+	return c, attr, im
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -145,8 +146,11 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 	// Each machine also carries a telemetry window sampler with a small
 	// window, so every fuzz case additionally proves the windowed-
 	// telemetry sum invariant (component-wise window sums == whole-run
-	// stats) on all five image kinds.
+	// stats) on all five image kinds — and a spatial-attribution
+	// recorder, proving the per-line/per-procedure sum invariant on the
+	// same runs (the "where" axis of the same decomposition).
 	samplers := make([]*telemetry.WindowSampler, len(images))
+	recorders := make([]*profile.Recorder, len(images))
 	results, runErr := verify.LockstepMulti(images, verify.MultiConfig{
 		CPU:      cfg,
 		MaxSteps: maxSteps,
@@ -155,6 +159,9 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 			s := telemetry.NewWindowSampler(oracleWindowSize)
 			s.Attach(c)
 			samplers[img] = s
+			r := profile.NewRecorder(images[img])
+			r.Attach(c)
+			recorders[img] = r
 		},
 	})
 	fail := func(img int, reason string) (*Failure, error) {
@@ -189,6 +196,9 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 		return fail(img, reason)
 	}
 	if reason, img := checkWindows(samplers); reason != "" {
+		return fail(img, reason)
+	}
+	if reason, img := checkProfiles(recorders); reason != "" {
 		return fail(img, reason)
 	}
 	return nil, nil

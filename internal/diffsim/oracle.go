@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/telemetry"
 	"repro/internal/verify"
@@ -34,6 +35,23 @@ func checkWindows(samplers []*telemetry.WindowSampler) (string, int) {
 		}
 		if err := s.Verify(); err != nil {
 			return fmt.Sprintf("window telemetry: %v", err), i
+		}
+	}
+	return "", 0
+}
+
+// checkProfiles runs each machine's spatial-attribution sum invariant:
+// every cpu.Stats component, summed over the per-line (and, separately,
+// per-procedure) attribution buckets, must reproduce the whole-run
+// statistics exactly. With checkWindows this closes both axes of the
+// decomposition — "when" and "where" — on every fuzz case.
+func checkProfiles(recorders []*profile.Recorder) (string, int) {
+	for i, r := range recorders {
+		if r == nil {
+			continue
+		}
+		if err := r.Verify(); err != nil {
+			return fmt.Sprintf("attribution: %v", err), i
 		}
 	}
 	return "", 0

@@ -14,7 +14,7 @@ import (
 // files under dir (created if needed), ready for external plotting:
 //
 //	table2.csv, table3.csv, fig4_dict.csv, fig4_codepack.csv, fig5.csv,
-//	cpistack.csv
+//	profileguided.csv, cpistack.csv
 func (s *Suite) WriteCSV(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -81,6 +81,19 @@ func (s *Suite) WriteCSV(dir string) error {
 		}
 	}
 	if err := writeCSV(filepath.Join(dir, "fig5.csv"), rows); err != nil {
+		return err
+	}
+
+	guided, err := s.ProfileGuided()
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"bench", "policy", "threshold", "ratio", "slowdown", "native_procs"}}
+	for _, r := range guided {
+		rows = append(rows, []string{r.Bench, r.Policy, f(r.Threshold),
+			f(r.Ratio), f(r.Slowdown), fmt.Sprint(r.Native)})
+	}
+	if err := writeCSV(filepath.Join(dir, "profileguided.csv"), rows); err != nil {
 		return err
 	}
 

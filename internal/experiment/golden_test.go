@@ -26,7 +26,7 @@ var update = flag.Bool("update", false, "rewrite the golden CSV files")
 
 var goldenFiles = []string{
 	"table2.csv", "table3.csv", "fig4_dict.csv", "fig4_codepack.csv", "fig5.csv",
-	"cpistack.csv",
+	"profileguided.csv", "cpistack.csv",
 }
 
 func TestGoldenCSV(t *testing.T) {

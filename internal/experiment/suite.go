@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/profile"
 	"repro/internal/program"
 	"repro/internal/synth"
 )
@@ -59,6 +60,7 @@ type benchState struct {
 	mu       sync.Mutex         // guards the memo maps below
 	native   map[int]runOutcome // by I-cache KB
 	profiles map[int]*cpu.ProcProfile
+	attr     map[int]*profile.Profile // native attribution profiles by I-cache KB
 	results  map[string]*core.Result
 }
 
@@ -111,6 +113,7 @@ func (s *Suite) state(p synth.Profile) (*benchState, error) {
 		st.image = im
 		st.native = make(map[int]runOutcome)
 		st.profiles = make(map[int]*cpu.ProcProfile)
+		st.attr = make(map[int]*profile.Profile)
 		st.results = make(map[string]*core.Result)
 	})
 	return st, st.err

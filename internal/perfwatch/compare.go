@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/profile"
 )
 
 // Status classifies one workload's old-vs-new comparison.
@@ -44,6 +46,13 @@ type WorkloadDelta struct {
 	NewCycles  uint64   `json:"new_cycles,omitempty"`
 	CycleDelta float64  `json:"cycle_delta,omitempty"` // (new-old)/old
 	SimDiffs   []string `json:"sim_diffs,omitempty"`
+
+	// ProcRegressions names the top regressing procedures when the
+	// simulated metrics differ and both samples carry per-procedure
+	// attribution, e.g. "hot +12345 cycles (decomp +9876), warm +11
+	// cycles" (profile.NamedRegressions; deterministic order). Empty
+	// when nothing changed or either side predates the attribution axis.
+	ProcRegressions string `json:"proc_regressions,omitempty"`
 
 	// Host is nil when the two fingerprints are not host-comparable.
 	Host *HostDelta `json:"host,omitempty"`
@@ -105,6 +114,9 @@ func CompareEntries(old, new Entry) Comparison {
 				d.CycleDelta = (float64(n.Sim.Cycles) - float64(o.Sim.Cycles)) / float64(o.Sim.Cycles)
 			}
 			d.SimDiffs = o.Sim.Diff(n.Sim)
+			if len(d.SimDiffs) > 0 && len(o.Procs) > 0 && len(n.Procs) > 0 {
+				d.ProcRegressions = profile.NamedRegressions(o.Procs, n.Procs, 3)
+			}
 			switch {
 			case len(d.SimDiffs) == 0:
 				d.Status = StatusSame
@@ -168,6 +180,9 @@ func (c Comparison) Format(w io.Writer, verbose bool) {
 			if verbose && len(d.SimDiffs) > 0 {
 				for _, diff := range d.SimDiffs {
 					fmt.Fprintf(w, "    %s\n", diff)
+				}
+				if d.ProcRegressions != "" {
+					fmt.Fprintf(w, "    top regressing procedures: %s\n", d.ProcRegressions)
 				}
 			}
 		}

@@ -40,6 +40,9 @@ func (p GatePolicy) Check(c Comparison) []Violation {
 				if len(d.SimDiffs) > 0 {
 					reason += "; first diff: " + d.SimDiffs[0]
 				}
+				if d.ProcRegressions != "" {
+					reason += "; top regressing procedures: " + d.ProcRegressions
+				}
 				vs = append(vs, Violation{Workload: d.Workload, Reason: reason})
 			}
 		}
@@ -67,6 +70,14 @@ func PerturbSim(e *Entry, factor float64) {
 		sim.Cycles = scale(sim.Cycles)
 		for k, v := range sim.CPIStack {
 			sim.CPIStack[k] = scale(v)
+		}
+		// Keep the spatial axis consistent with the perturbed totals so
+		// the gate's "top regressing procedures" clause fires in the
+		// self-test path too.
+		for j := range e.Samples[i].Procs {
+			p := &e.Samples[i].Procs[j]
+			p.Cycles = scale(p.Cycles)
+			p.DecompCycles = scale(p.DecompCycles)
 		}
 	}
 }

@@ -195,6 +195,21 @@ func (r *Runner) RunWorkload(w Workload) (Sample, error) {
 			"cycles", sim.Cycles, "instrs", sim.Instrs, "wall_ms", float64(wall.Microseconds())/1000)
 	}
 	sample.Host.Finalize(sample.Sim.Instrs + sample.Sim.HandlerInstrs)
+
+	// One extra untimed profiled run fills the spatial axis. The recorder
+	// is a pure observer, so the profiled run's simulated metrics must be
+	// bit-identical to the timed repetitions — asserted here on every
+	// registry workload, turning each trajectory run into a standing
+	// proof of observer purity.
+	prof, err := r.suite.AttributedRun(w.Bench, opts, w.CacheKB)
+	if err != nil {
+		return Sample{}, fmt.Errorf("perfwatch: %s profiled run: %v", w.Name, err)
+	}
+	if diffs := sample.Sim.Diff(simFromCost(prof.Total)); len(diffs) != 0 {
+		return Sample{}, fmt.Errorf("perfwatch: %s: profiled run diverged from timed runs (profile recorder must be a pure observer): %v",
+			w.Name, diffs)
+	}
+	sample.Procs = prof.NamedCosts()
 	return sample, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/profile"
 )
 
 // testScale keeps the measured runs small; the registry workloads are
@@ -76,6 +78,27 @@ func TestDeterminism(t *testing.T) {
 	}
 	if len(sa.Host.WallNs) != 2 || sa.Host.MedianNs == 0 {
 		t.Fatalf("host metrics not collected: %+v", sa.Host)
+	}
+	// The spatial axis: the profiled observer run filled Procs, its
+	// per-procedure cycles decompose Sim.Cycles exactly, and back-to-back
+	// runs attribute identically.
+	if len(sa.Procs) == 0 {
+		t.Fatal("sample carries no per-procedure attribution")
+	}
+	var procSum uint64
+	for _, p := range sa.Procs {
+		procSum += p.Cycles
+	}
+	if procSum != sa.Sim.Cycles {
+		t.Fatalf("proc attribution sums to %d, sample has %d cycles", procSum, sa.Sim.Cycles)
+	}
+	if len(sa.Procs) != len(sb.Procs) {
+		t.Fatalf("attribution diverged: %d vs %d procedures", len(sa.Procs), len(sb.Procs))
+	}
+	for i := range sa.Procs {
+		if sa.Procs[i] != sb.Procs[i] {
+			t.Fatalf("attribution diverged at %d: %+v vs %+v", i, sa.Procs[i], sb.Procs[i])
+		}
 	}
 }
 
@@ -197,11 +220,67 @@ func TestGateCatchesInjectedRegression(t *testing.T) {
 		if !strings.Contains(v.Reason, "+5.0") {
 			t.Errorf("violation should carry the +5%% delta: %q", v.Reason)
 		}
+		if !strings.Contains(v.Reason, "top regressing procedures: ") {
+			t.Errorf("violation should name the regressing procedures: %q", v.Reason)
+		}
+	}
+	// The explanation clause is deterministic: re-running the comparison
+	// and gate must reproduce every reason byte for byte.
+	again := policy.Check(CompareEntries(base, regressed))
+	for i := range vs {
+		if vs[i] != again[i] {
+			t.Errorf("gate output not deterministic:\n  %+v\n  %+v", vs[i], again[i])
+		}
 	}
 
 	// AllowSimChange waives the simulated gate (re-baselining PRs).
 	if vs := (GatePolicy{AllowSimChange: true}).Check(CompareEntries(base, regressed)); len(vs) != 0 {
 		t.Fatalf("AllowSimChange still violated: %+v", vs)
+	}
+}
+
+// TestProcRegressionClause pins the gate's explanation clause with
+// synthetic attribution: top-3 cap, positive-delta filter, name-sorted
+// tie-breaking, and graceful omission when the baseline predates the
+// attribution axis.
+func TestProcRegressionClause(t *testing.T) {
+	mk := func(cycles uint64, procs []profile.NamedCost) Entry {
+		return Entry{
+			Fingerprint: Fingerprint{Scale: 1},
+			Samples: []Sample{{Workload: "w", Version: 1,
+				Sim:   SimMetrics{Cycles: cycles, Instrs: 1, CPIStack: map[string]uint64{"user_execute": cycles}},
+				Procs: procs}},
+		}
+	}
+	old := mk(100, []profile.NamedCost{
+		{Name: "hot", Cycles: 40}, {Name: "warm", Cycles: 30},
+		{Name: "tie_b", Cycles: 10}, {Name: "tie_a", Cycles: 10}, {Name: "fell", Cycles: 10},
+	})
+	new := mk(190, []profile.NamedCost{
+		{Name: "hot", Cycles: 90, DecompCycles: 25}, // +50 (decomp +25)
+		{Name: "warm", Cycles: 30},                  // unchanged
+		{Name: "tie_b", Cycles: 30},                 // +20, ties with tie_a
+		{Name: "tie_a", Cycles: 30},                 // +20
+		{Name: "fell", Cycles: 5},                   // improved: excluded
+		{Name: "grew", Cycles: 35},                  // +35, absent in old
+	})
+
+	vs := GatePolicy{}.Check(CompareEntries(old, new))
+	if len(vs) != 1 {
+		t.Fatalf("expected 1 violation, got %+v", vs)
+	}
+	want := "top regressing procedures: hot +50 cycles (decomp +25), grew +35 cycles, tie_a +20 cycles"
+	if !strings.Contains(vs[0].Reason, want) {
+		t.Fatalf("reason %q\nwant clause %q", vs[0].Reason, want)
+	}
+
+	// A baseline without attribution (pre-attribution trajectory entry)
+	// still gates on the totals, just without the clause.
+	bare := old
+	bare.Samples[0].Procs = nil
+	vs = GatePolicy{}.Check(CompareEntries(bare, new))
+	if len(vs) != 1 || strings.Contains(vs[0].Reason, "top regressing") {
+		t.Fatalf("attribution-less baseline mishandled: %+v", vs)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/cpu"
+	"repro/internal/profile"
 )
 
 // SimMetrics are the deterministic axis of a sample: everything here is
@@ -133,6 +134,39 @@ type Sample struct {
 	Version  int         `json:"version"`
 	Sim      SimMetrics  `json:"sim"`
 	Host     HostMetrics `json:"host"`
+
+	// Procs is the spatial axis: per-procedure attributed cost from one
+	// extra untimed profiled run (nonzero procedures in address order,
+	// profile.NamedCosts form). The gate uses it to *name* the top
+	// regressing procedures when simulated metrics change. Empty in
+	// entries written before the attribution layer existed — comparisons
+	// then simply omit the clause.
+	Procs []profile.NamedCost `json:"procs,omitempty"`
+}
+
+// simFromCost rebuilds SimMetrics from a profile's whole-run total.
+// The attribution layer carries the complete cpu.Stats decomposition,
+// so the reconstruction is lossless — RunWorkload uses it to assert
+// that the profiled observer run reproduced the timed repetitions'
+// simulated metrics exactly.
+func simFromCost(c profile.Cost) SimMetrics {
+	m := SimMetrics{
+		Cycles:          c.Cycles,
+		Instrs:          c.Instrs,
+		HandlerInstrs:   c.HandlerInstrs,
+		Exceptions:      c.Exceptions,
+		IMissNative:     c.IMissNative,
+		IMissCompressed: c.IMissCompressed,
+		ExcCyclesMax:    c.ExcCyclesMax,
+		FetchStalls:     c.FetchStalls,
+		LoadStalls:      c.LoadStalls,
+		LoadUseStalls:   c.LoadUseStalls,
+		CPIStack:        make(map[string]uint64, cpu.NumCycleKinds),
+	}
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		m.CPIStack[k.Key()] = c.CPIStack[k]
+	}
+	return m
 }
 
 // Fingerprint identifies the configuration a trajectory entry was

@@ -1,0 +1,45 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/profile"
+)
+
+// OrderByCost orders procedures by measured attributed cost, hottest
+// first — the spatial-profile counterpart to Order. Where Order
+// optimises call adjacency from an affinity graph, OrderByCost packs
+// the procedures whose lines actually cost the most cycles (handler
+// work, exception service, fetch stalls) at the region base, where the
+// re-layout gives them the least conflicting cache sets. Ties break by
+// original address, then name, so the layout is deterministic; every
+// real procedure of the profile appears exactly once (the synthetic
+// outside bucket is not a procedure and is skipped).
+func OrderByCost(p *profile.Profile) []string {
+	type scored struct {
+		name string
+		addr uint32
+		cost uint64
+	}
+	var procs []scored
+	for _, pr := range p.Procs {
+		if pr.Name == profile.OutsideName {
+			continue
+		}
+		procs = append(procs, scored{name: pr.Name, addr: pr.Addr, cost: pr.Cost.MissCost()})
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].cost != procs[j].cost {
+			return procs[i].cost > procs[j].cost
+		}
+		if procs[i].addr != procs[j].addr {
+			return procs[i].addr < procs[j].addr
+		}
+		return procs[i].name < procs[j].name
+	})
+	names := make([]string, len(procs))
+	for i, s := range procs {
+		names[i] = s.name
+	}
+	return names
+}

@@ -1,0 +1,54 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/profile"
+)
+
+func costProfile(rows []profile.ProcCost) *profile.Profile {
+	return &profile.Profile{SchemaVersion: profile.ArtifactSchema, LineBytes: 32, Procs: rows}
+}
+
+func withMissCost(addr uint32, name string, cost uint64) profile.ProcCost {
+	var c profile.Cost
+	c.CPIStack[cpu.CycleFetchStall] = cost
+	c.Cycles = cost
+	return profile.ProcCost{Name: name, Addr: addr, Cost: c}
+}
+
+func TestOrderByCost(t *testing.T) {
+	p := costProfile([]profile.ProcCost{
+		withMissCost(0x00400000, "main", 50),
+		withMissCost(0x00400100, "hot", 9000),
+		withMissCost(0x00400200, "warm", 300),
+		withMissCost(0x00400300, "cold", 0),
+	})
+	p.Procs = append(p.Procs, profile.ProcCost{Name: profile.OutsideName,
+		Cost: profile.Cost{Cycles: 1}})
+	got := OrderByCost(p)
+	want := []string{"hot", "warm", "main", "cold"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+func TestOrderByCostTiesDeterministic(t *testing.T) {
+	p := costProfile([]profile.ProcCost{
+		withMissCost(0x00400200, "b", 100),
+		withMissCost(0x00400100, "a", 100),
+		withMissCost(0x00400300, "c", 100),
+	})
+	first := OrderByCost(p)
+	want := []string{"a", "b", "c"} // equal cost: address order
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("tie order = %v, want %v", first, want)
+	}
+	for i := 0; i < 5; i++ {
+		if got := OrderByCost(p); !reflect.DeepEqual(got, first) {
+			t.Fatalf("order not stable: %v vs %v", got, first)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// Differential profiling: align two profile artifacts by procedure and
+// by cache line, and rank the cycle delta by component × location. This
+// is how a regression gets *explained* rather than just flagged —
+// `ccprof diff old.json new.json` for humans and CI, and ccbench gate
+// names the top regressing procedures from the same engine.
+
+// EntryDelta is one aligned record's change. A key present in only one
+// profile is treated as zero cost on the other side, so additions and
+// removals rank like any other delta.
+type EntryDelta struct {
+	// Name identifies the record: the procedure name, or "line 0x%08x"
+	// for cache-line records.
+	Name string `json:"name"`
+	Addr uint32 `json:"addr"`
+
+	OldCycles uint64 `json:"old_cycles"`
+	NewCycles uint64 `json:"new_cycles"`
+	// DeltaCycles = new - old; positive means the location got slower.
+	DeltaCycles int64 `json:"delta_cycles"`
+
+	OldDecomp   uint64 `json:"old_decomp,omitempty"`
+	NewDecomp   uint64 `json:"new_decomp,omitempty"`
+	DeltaDecomp int64  `json:"delta_decomp,omitempty"`
+
+	DeltaInstrs     int64 `json:"delta_instrs,omitempty"`
+	DeltaExceptions int64 `json:"delta_exceptions,omitempty"`
+	DeltaBusBytes   int64 `json:"delta_bus_bytes,omitempty"`
+
+	// Stack is the per-component cycle delta (new - old), keyed like the
+	// CPI stack; it sums to DeltaCycles exactly.
+	Stack map[string]int64 `json:"stack,omitempty"`
+}
+
+// Diff is the full differential between two profiles.
+type Diff struct {
+	SchemaVersion int `json:"schema_version"`
+
+	OldImage  string `json:"old_image,omitempty"`
+	NewImage  string `json:"new_image,omitempty"`
+	OldScheme string `json:"old_scheme,omitempty"`
+	NewScheme string `json:"new_scheme,omitempty"`
+
+	OldCycles   uint64 `json:"old_cycles"`
+	NewCycles   uint64 `json:"new_cycles"`
+	DeltaCycles int64  `json:"delta_cycles"`
+
+	// Procs and Lines are ranked by |delta cycles| descending, ties by
+	// name (procedures) or address (lines) ascending — byte-stable.
+	// Zero-delta records are omitted.
+	Procs []EntryDelta `json:"procs"`
+	Lines []EntryDelta `json:"lines"`
+}
+
+// entryDelta builds one aligned record's delta, nil if nothing changed.
+func entryDelta(name string, addr uint32, old, new Cost) *EntryDelta {
+	if old == new {
+		return nil
+	}
+	d := &EntryDelta{
+		Name: name, Addr: addr,
+		OldCycles:   old.Cycles,
+		NewCycles:   new.Cycles,
+		DeltaCycles: int64(new.Cycles) - int64(old.Cycles),
+		OldDecomp:   old.DecompCycles(),
+		NewDecomp:   new.DecompCycles(),
+		DeltaDecomp: int64(new.DecompCycles()) - int64(old.DecompCycles()),
+
+		DeltaInstrs:     int64(new.Instrs+new.HandlerInstrs) - int64(old.Instrs+old.HandlerInstrs),
+		DeltaExceptions: int64(new.Exceptions) - int64(old.Exceptions),
+		DeltaBusBytes:   int64(new.BusBytes) - int64(old.BusBytes),
+	}
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		if dv := int64(new.CPIStack[k]) - int64(old.CPIStack[k]); dv != 0 {
+			if d.Stack == nil {
+				d.Stack = make(map[string]int64)
+			}
+			d.Stack[k.Key()] = dv
+		}
+	}
+	return d
+}
+
+// rank orders deltas by |delta cycles| descending, ties by name
+// ascending — the one deterministic order every consumer (text output,
+// JSON, the gate's top-3) shares.
+func rank(ds []EntryDelta) {
+	sort.Slice(ds, func(i, j int) bool {
+		ai, aj := abs64(ds[i].DeltaCycles), abs64(ds[j].DeltaCycles)
+		if ai != aj {
+			return ai > aj
+		}
+		if ds[i].Name != ds[j].Name {
+			return ds[i].Name < ds[j].Name
+		}
+		return ds[i].Addr < ds[j].Addr
+	})
+}
+
+func abs64(v int64) uint64 {
+	if v < 0 {
+		return uint64(-v)
+	}
+	return uint64(v)
+}
+
+// DiffProfiles aligns two profiles and returns the ranked differential.
+// The artifacts must share the schema version and cache-line geometry;
+// mismatches are refused naming both sides.
+func DiffProfiles(old, new *Profile) (*Diff, error) {
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("profile: cannot diff artifact schema %d against schema %d",
+			old.SchemaVersion, new.SchemaVersion)
+	}
+	if old.LineBytes != new.LineBytes {
+		return nil, fmt.Errorf("profile: cannot diff line geometry %dB against %dB",
+			old.LineBytes, new.LineBytes)
+	}
+	d := &Diff{
+		SchemaVersion: old.SchemaVersion,
+		OldImage:      old.Image, NewImage: new.Image,
+		OldScheme: old.Scheme, NewScheme: new.Scheme,
+		OldCycles:   old.Total.Cycles,
+		NewCycles:   new.Total.Cycles,
+		DeltaCycles: int64(new.Total.Cycles) - int64(old.Total.Cycles),
+	}
+
+	// Procedures align by name; one-sided names count as zero cost on
+	// the missing side.
+	oldProcs := make(map[string]Cost, len(old.Procs))
+	for _, p := range old.Procs {
+		oldProcs[p.Name] = p.Cost
+	}
+	seen := make(map[string]bool, len(new.Procs))
+	for _, p := range new.Procs {
+		seen[p.Name] = true
+		if e := entryDelta(p.Name, p.Addr, oldProcs[p.Name], p.Cost); e != nil {
+			d.Procs = append(d.Procs, *e)
+		}
+	}
+	for _, p := range old.Procs {
+		if !seen[p.Name] {
+			if e := entryDelta(p.Name, p.Addr, p.Cost, Cost{}); e != nil {
+				d.Procs = append(d.Procs, *e)
+			}
+		}
+	}
+	rank(d.Procs)
+
+	// Lines align by base address.
+	oldLines := make(map[uint32]Cost, len(old.Lines))
+	for _, l := range old.Lines {
+		oldLines[l.Addr] = l.Cost
+	}
+	seenLine := make(map[uint32]bool, len(new.Lines))
+	for _, l := range new.Lines {
+		seenLine[l.Addr] = true
+		if e := entryDelta(fmt.Sprintf("line 0x%08x", l.Addr), l.Addr, oldLines[l.Addr], l.Cost); e != nil {
+			d.Lines = append(d.Lines, *e)
+		}
+	}
+	for _, l := range old.Lines {
+		if !seenLine[l.Addr] {
+			if e := entryDelta(fmt.Sprintf("line 0x%08x", l.Addr), l.Addr, l.Cost, Cost{}); e != nil {
+				d.Lines = append(d.Lines, *e)
+			}
+		}
+	}
+	rank(d.Lines)
+	return d, nil
+}
+
+// TopRegressing returns the at-most-n procedure records with positive
+// cycle delta, largest first (ties by name ascending — inherited from
+// the ranked order, so repeated calls are byte-identical).
+func (d *Diff) TopRegressing(n int) []EntryDelta {
+	var out []EntryDelta
+	for _, e := range d.Procs {
+		if e.DeltaCycles > 0 {
+			out = append(out, e)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FormatRegressions renders the top-n regressing procedures as a single
+// deterministic clause for gate messages, e.g.
+// "hot +12345 cycles (decomp +9876), warm +11 cycles". Empty when
+// nothing regressed.
+func (d *Diff) FormatRegressions(n int) string {
+	top := d.TopRegressing(n)
+	if len(top) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(top))
+	for _, e := range top {
+		p := fmt.Sprintf("%s %+d cycles", e.Name, e.DeltaCycles)
+		if e.DeltaDecomp != 0 {
+			p += fmt.Sprintf(" (decomp %+d)", e.DeltaDecomp)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// NamedRegressions aligns two trajectory-sample attribution lists
+// (the NamedCosts form perfwatch carries) by procedure name and renders
+// the top-n positive cycle deltas in the FormatRegressions form — the
+// engine behind `ccbench gate`'s "top regressing procedures" clause.
+// One-sided names count as zero on the missing side; ranking and
+// tie-breaking (delta descending, name ascending) match DiffProfiles,
+// so the clause is byte-identical across runs. Empty when nothing
+// regressed or either side carries no attribution.
+func NamedRegressions(old, new []NamedCost, n int) string {
+	oldBy := make(map[string]NamedCost, len(old))
+	for _, c := range old {
+		oldBy[c.Name] = c
+	}
+	var ds []EntryDelta
+	add := func(o, nc NamedCost) {
+		if o.Cycles == nc.Cycles && o.DecompCycles == nc.DecompCycles {
+			return
+		}
+		ds = append(ds, EntryDelta{
+			Name:        nc.Name,
+			OldCycles:   o.Cycles,
+			NewCycles:   nc.Cycles,
+			DeltaCycles: int64(nc.Cycles) - int64(o.Cycles),
+			OldDecomp:   o.DecompCycles,
+			NewDecomp:   nc.DecompCycles,
+			DeltaDecomp: int64(nc.DecompCycles) - int64(o.DecompCycles),
+		})
+	}
+	seen := make(map[string]bool, len(new))
+	for _, c := range new {
+		seen[c.Name] = true
+		add(oldBy[c.Name], c)
+	}
+	for _, c := range old {
+		if !seen[c.Name] {
+			add(c, NamedCost{Name: c.Name})
+		}
+	}
+	rank(ds)
+	return (&Diff{Procs: ds}).FormatRegressions(n)
+}
+
+// Format renders the differential as an aligned text table: totals,
+// then the top procedure deltas with their dominant stack components,
+// then the top line deltas.
+func (d *Diff) Format(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles: %d -> %d (%+d", d.OldCycles, d.NewCycles, d.DeltaCycles)
+	if d.OldCycles > 0 {
+		fmt.Fprintf(&b, ", %+.3f%%", 100*float64(d.DeltaCycles)/float64(d.OldCycles))
+	}
+	b.WriteString(")\n")
+	if d.OldScheme != d.NewScheme {
+		fmt.Fprintf(&b, "scheme: %s -> %s\n", d.OldScheme, d.NewScheme)
+	}
+	section := func(title string, ds []EntryDelta) {
+		if len(ds) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d changed):\n", title, len(ds))
+		n := len(ds)
+		if top > 0 && n > top {
+			n = top
+		}
+		for _, e := range ds[:n] {
+			fmt.Fprintf(&b, "  %-24s %12d -> %12d  %+12d", e.Name, e.OldCycles, e.NewCycles, e.DeltaCycles)
+			if e.DeltaDecomp != 0 {
+				fmt.Fprintf(&b, "  decomp %+d", e.DeltaDecomp)
+			}
+			b.WriteByte('\n')
+			if len(e.Stack) > 0 {
+				keys := make([]string, 0, len(e.Stack))
+				for k := range e.Stack {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				comps := make([]string, 0, len(keys))
+				for _, k := range keys {
+					comps = append(comps, fmt.Sprintf("%s %+d", k, e.Stack[k]))
+				}
+				fmt.Fprintf(&b, "    %s\n", strings.Join(comps, ", "))
+			}
+		}
+		if n < len(ds) {
+			fmt.Fprintf(&b, "  ... %d more\n", len(ds)-n)
+		}
+	}
+	section("procedures", d.Procs)
+	section("lines", d.Lines)
+	return b.String()
+}
+
+// WriteJSON writes the differential as indented JSON (the form the CI
+// perturbation check parses).
+func (d *Diff) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func costOf(cycles uint64) Cost {
+	var c Cost
+	c.Cycles = cycles
+	c.CPIStack[cpu.CycleUser] = cycles
+	return c
+}
+
+func mkProfile(procs map[string]uint64) *Profile {
+	p := &Profile{SchemaVersion: ArtifactSchema, LineBytes: 32}
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	addr := uint32(0x00400000)
+	for _, n := range names {
+		cyc, ok := procs[n]
+		if !ok {
+			continue
+		}
+		p.Procs = append(p.Procs, ProcCost{Name: n, Addr: addr, Cost: costOf(cyc)})
+		p.Total.Add(costOf(cyc))
+		if cyc > 0 {
+			p.Lines = append(p.Lines, LineCost{Addr: addr, Cost: costOf(cyc)})
+		}
+		addr += 0x40
+	}
+	return p
+}
+
+// TestDiffRanking: deltas rank by |cycle delta| descending; the
+// regression list keeps only slower procedures.
+func TestDiffRanking(t *testing.T) {
+	old := mkProfile(map[string]uint64{"alpha": 100, "beta": 500, "gamma": 300})
+	new := mkProfile(map[string]uint64{"alpha": 4100, "beta": 450, "gamma": 1300})
+	d, err := DiffProfiles(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DeltaCycles != 4950 { // +4000 alpha, +1000 gamma, -50 beta
+		t.Fatalf("delta cycles %d, want 4950", d.DeltaCycles)
+	}
+	wantOrder := []string{"alpha", "gamma", "beta"}
+	if len(d.Procs) != len(wantOrder) {
+		t.Fatalf("got %d proc deltas, want %d", len(d.Procs), len(wantOrder))
+	}
+	for i, w := range wantOrder {
+		if d.Procs[i].Name != w {
+			t.Errorf("rank %d: got %s, want %s", i, d.Procs[i].Name, w)
+		}
+	}
+	top := d.TopRegressing(3)
+	if len(top) != 2 || top[0].Name != "alpha" || top[1].Name != "gamma" {
+		t.Errorf("regressions = %+v", top)
+	}
+	if s := d.FormatRegressions(3); !strings.Contains(s, "alpha +4000 cycles") {
+		t.Errorf("format %q", s)
+	}
+	// Per-entry stack deltas must sum to the entry's cycle delta.
+	for _, e := range d.Procs {
+		var sum int64
+		for _, v := range e.Stack {
+			sum += v
+		}
+		if sum != e.DeltaCycles {
+			t.Errorf("%s: stack sums to %d, delta is %d", e.Name, sum, e.DeltaCycles)
+		}
+	}
+}
+
+// TestDiffTiesSortByName: equal-magnitude deltas order by name, so diff
+// output is byte-identical across runs.
+func TestDiffTiesSortByName(t *testing.T) {
+	old := mkProfile(map[string]uint64{"alpha": 100, "beta": 100, "gamma": 100, "delta": 100})
+	new := mkProfile(map[string]uint64{"alpha": 200, "beta": 200, "gamma": 200, "delta": 200})
+	d, err := DiffProfiles(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "beta", "delta", "gamma"} // all +100: name order
+	for i, w := range want {
+		if d.Procs[i].Name != w {
+			t.Fatalf("tie order %v, want %v", d.Procs, want)
+		}
+	}
+	if a, b := d.Format(10), d.Format(10); a != b {
+		t.Error("Format not deterministic")
+	}
+}
+
+// TestDiffOneSidedKeys: a procedure present on only one side diffs
+// against zero (appears/disappears ranks like any delta).
+func TestDiffOneSidedKeys(t *testing.T) {
+	old := mkProfile(map[string]uint64{"alpha": 100})
+	new := mkProfile(map[string]uint64{"alpha": 100, "beta": 900})
+	d, err := DiffProfiles(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Procs) != 1 || d.Procs[0].Name != "beta" || d.Procs[0].DeltaCycles != 900 {
+		t.Fatalf("procs = %+v", d.Procs)
+	}
+	back, err := DiffProfiles(new, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Procs) != 1 || back.Procs[0].DeltaCycles != -900 {
+		t.Fatalf("reverse procs = %+v", back.Procs)
+	}
+}
+
+// TestDiffRefusesMismatchedSchemas: both versions must be named.
+func TestDiffRefusesMismatchedSchemas(t *testing.T) {
+	old := mkProfile(map[string]uint64{"alpha": 1})
+	new := mkProfile(map[string]uint64{"alpha": 2})
+	new.SchemaVersion = ArtifactSchema + 3
+	_, err := DiffProfiles(old, new)
+	if err == nil {
+		t.Fatal("mismatched schemas accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "schema 1") || !strings.Contains(msg, "schema 4") {
+		t.Errorf("error %q does not name both schema versions", msg)
+	}
+
+	geo := mkProfile(map[string]uint64{"alpha": 2})
+	geo.LineBytes = 64
+	if _, err := DiffProfiles(old, geo); err == nil {
+		t.Fatal("mismatched line geometry accepted")
+	}
+}

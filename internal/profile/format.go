@@ -1,0 +1,87 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Text rendering of one profile's attribution tables — the human form
+// behind `ccprof -procs/-lines` and `simrun -profile`. Both tables rank
+// by cycles descending with deterministic tie-breaking (name for
+// procedures, address for lines), so repeated runs print byte-identical
+// output.
+
+// FormatProcs renders the per-procedure attribution table: every
+// procedure with nonzero cost, cycles descending (ties by name
+// ascending), with its share of the run, instruction counts, I-cache
+// misses and decompression overhead. top > 0 truncates the table,
+// noting how many rows were dropped.
+func (p *Profile) FormatProcs(top int) string {
+	rows := make([]ProcCost, 0, len(p.Procs))
+	for _, pr := range p.Procs {
+		if !pr.Cost.IsZero() {
+			rows = append(rows, pr)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %6s %12s %8s %12s %10s\n",
+		"procedure", "cycles", "share", "instrs", "imisses", "decomp", "fetchstall")
+	n := len(rows)
+	if top > 0 && n > top {
+		n = top
+	}
+	for _, r := range rows[:n] {
+		fmt.Fprintf(&b, "%-20s %12d %5.1f%% %12d %8d %12d %10d\n",
+			r.Name, r.Cycles, share(r.Cycles, p.Total.Cycles),
+			r.Instrs+r.HandlerInstrs, r.IMissNative+r.IMissCompressed,
+			r.DecompCycles(), r.FetchStalls)
+	}
+	if n < len(rows) {
+		fmt.Fprintf(&b, "... (%d more procedures)\n", len(rows)-n)
+	}
+	return b.String()
+}
+
+// FormatLines renders the per-cache-line attribution table: cycles
+// descending (ties by address ascending). top > 0 truncates.
+func (p *Profile) FormatLines(top int) string {
+	rows := make([]LineCost, len(p.Lines))
+	copy(rows, p.Lines)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Addr < rows[j].Addr
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %6s %12s %8s %12s %10s\n",
+		"line", "cycles", "share", "instrs", "imisses", "decomp", "fetchstall")
+	n := len(rows)
+	if top > 0 && n > top {
+		n = top
+	}
+	for _, r := range rows[:n] {
+		fmt.Fprintf(&b, "0x%08x   %12d %5.1f%% %12d %8d %12d %10d\n",
+			r.Addr, r.Cycles, share(r.Cycles, p.Total.Cycles),
+			r.Instrs+r.HandlerInstrs, r.IMissNative+r.IMissCompressed,
+			r.DecompCycles(), r.FetchStalls)
+	}
+	if n < len(rows) {
+		fmt.Fprintf(&b, "... (%d more lines)\n", len(rows)-n)
+	}
+	return b.String()
+}
+
+func share(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}

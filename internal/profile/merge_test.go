@@ -1,0 +1,110 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// shardProfiles runs the same program under several machines (one per
+// "shard") and returns the per-shard profiles — the sharded-collection
+// shape perfwatch-style runners produce.
+func shardProfiles(t *testing.T, n int) []*Profile {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "sieve.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := compress(t, assemble(t, string(src)), "dict")
+	out := make([]*Profile, n)
+	for i := range out {
+		r, _ := runProfiled(t, "shard", im, nil)
+		if err := r.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		p := r.Profile()
+		p.SetIdentity("sieve", "dict")
+		out[i] = p
+	}
+	return out
+}
+
+func jsonOf(t *testing.T, p *Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeShardedEqualsSerial: merging shard profiles must be
+// byte-identical regardless of order or grouping — Merge(a,b,c) ==
+// Merge(c, Merge(b,a)) == Merge(Merge(a,b), c) on the wire.
+func TestMergeShardedEqualsSerial(t *testing.T) {
+	ps := shardProfiles(t, 3)
+	serial, err := Merge(ps[0], ps[1], ps[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Check(); err != nil {
+		t.Fatalf("merged profile fails its own invariants: %v", err)
+	}
+	want := jsonOf(t, serial)
+
+	ab, err := Merge(ps[0], ps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := Merge(ab, ps[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jsonOf(t, grouped); !bytes.Equal(got, want) {
+		t.Error("grouped merge differs from serial merge")
+	}
+
+	ba, err := Merge(ps[1], ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := Merge(ps[2], ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jsonOf(t, reordered); !bytes.Equal(got, want) {
+		t.Error("reordered merge differs from serial merge")
+	}
+
+	// Sanity: the merge really is 3 shards' worth of work.
+	if serial.Total.Cycles != 3*ps[0].Total.Cycles {
+		t.Errorf("merged total %d cycles, want 3×%d", serial.Total.Cycles, ps[0].Total.Cycles)
+	}
+	if serial.Total.ExcCyclesMax != ps[0].Total.ExcCyclesMax {
+		t.Errorf("merged exc max %d, shard has %d (max must not sum)",
+			serial.Total.ExcCyclesMax, ps[0].Total.ExcCyclesMax)
+	}
+	if serial.Image != "sieve" || serial.Scheme != "dict" {
+		t.Errorf("agreeing identity dropped: %q/%q", serial.Image, serial.Scheme)
+	}
+}
+
+// TestMergeRefusesMixedGeometry: differing schema or line geometry is
+// an error, not a silent mis-aggregation.
+func TestMergeRefusesMixedGeometry(t *testing.T) {
+	ps := shardProfiles(t, 2)
+	bad := *ps[1]
+	bad.LineBytes = ps[1].LineBytes * 2
+	if _, err := Merge(ps[0], &bad); err == nil {
+		t.Error("merge of mixed line geometry accepted")
+	}
+	bad = *ps[1]
+	bad.SchemaVersion++
+	if _, err := Merge(ps[0], &bad); err == nil {
+		t.Error("merge of mixed schema versions accepted")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("merge of nothing accepted")
+	}
+}

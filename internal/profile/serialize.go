@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// WriteJSON writes the profile artifact as indented JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteCSV writes the profile as flat rows, one attribution bucket per
+// line — trivially greppable and joinable across runs. The kind column
+// distinguishes the three record classes (total, line, proc); keys
+// reuse the JSON field names.
+func (p *Profile) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("kind,name,addr,cycles,instrs,handler_instrs,imiss_native,imiss_compressed,exceptions,fetch_stalls,load_stalls,load_use_stalls,exc_cycles_total,exc_cycles_max,bus_reads,bus_bytes")
+	for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+		b.WriteString(",cpi_stack." + k.Key())
+	}
+	b.WriteByte('\n')
+	row := func(kind, name string, addr uint32, c Cost) {
+		fmt.Fprintf(&b, "%s,%s,0x%08x,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+			kind, name, addr, c.Cycles, c.Instrs, c.HandlerInstrs,
+			c.IMissNative, c.IMissCompressed, c.Exceptions,
+			c.FetchStalls, c.LoadStalls, c.LoadUseStalls,
+			c.ExcCyclesTotal, c.ExcCyclesMax, c.BusReads, c.BusBytes)
+		for k := cpu.CycleKind(0); k < cpu.NumCycleKinds; k++ {
+			fmt.Fprintf(&b, ",%d", c.CPIStack[k])
+		}
+		b.WriteByte('\n')
+	}
+	row("total", "", 0, p.Total)
+	for _, l := range p.Lines {
+		row("line", "", l.Addr, l.Cost)
+	}
+	for _, pr := range p.Procs {
+		row("proc", pr.Name, pr.Addr, pr.Cost)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFile serializes the profile by extension: .csv writes the flat
+// row form, anything else the JSON artifact.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".csv" {
+		err = p.WriteCSV(f)
+	} else {
+		err = p.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Read parses a JSON profile artifact, refusing schema mismatches (both
+// versions named) and revalidating the sum invariants, so no consumer
+// ever trusts a corrupted or foreign artifact.
+func Read(r io.Reader, name string) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: parse %s: %w", name, err)
+	}
+	if p.SchemaVersion != ArtifactSchema {
+		return nil, fmt.Errorf("profile: %s has artifact schema %d, this build supports schema %d",
+			name, p.SchemaVersion, ArtifactSchema)
+	}
+	if err := p.Check(); err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", name, err)
+	}
+	return &p, nil
+}
+
+// Load reads a JSON profile artifact from disk (see Read).
+func Load(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, filepath.Base(path))
+}

@@ -1,0 +1,65 @@
+package selective
+
+import (
+	"sort"
+
+	"repro/internal/profile"
+)
+
+// Profile-guided selection: rank procedures by *measured* cycles from a
+// spatial-attribution profile (internal/profile) instead of the raw
+// exec/miss counts the paper's two policies use. The metric is each
+// procedure's attributed instruction-delivery cost — decompression
+// handler cycles, exception service, and hardware fetch stalls — which
+// is the quantity keeping a procedure native actually removes. On a
+// native training run (where no decompression exists yet) the
+// fetch-stall component alone ranks the miss-dominated procedures,
+// weighted by how long each miss really stalled the machine rather than
+// by a flat miss count.
+
+// FromProfile returns the names of the procedures to keep native: the
+// highest measured-cost procedures whose cumulative attributed cost
+// first reaches fraction * total, mirroring Select's coverage-threshold
+// semantics (fraction <= 0 selects nothing; zero-cost procedures are
+// never selected). Ranking ties break by procedure address, like
+// Select's, so the choice is deterministic.
+func FromProfile(p *profile.Profile, fraction float64) map[string]bool {
+	selected := make(map[string]bool)
+	if fraction <= 0 || p == nil {
+		return selected
+	}
+	type ranked struct {
+		name   string
+		addr   uint32
+		metric uint64
+	}
+	var procs []ranked
+	var total uint64
+	for _, pr := range p.Procs {
+		if pr.Name == profile.OutsideName {
+			continue // not a compressible procedure
+		}
+		m := pr.Cost.MissCost()
+		procs = append(procs, ranked{name: pr.Name, addr: pr.Addr, metric: m})
+		total += m
+	}
+	if total == 0 {
+		return selected
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].metric != procs[j].metric {
+			return procs[i].metric > procs[j].metric
+		}
+		return procs[i].addr < procs[j].addr
+	})
+	goal := fraction * float64(total)
+	var cum float64
+	for _, r := range procs {
+		if r.metric == 0 || cum >= goal {
+			break
+		}
+		selected[r.name] = true
+		cum += float64(r.metric)
+	}
+	return selected
+}

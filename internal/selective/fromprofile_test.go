@@ -1,0 +1,68 @@
+package selective
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/profile"
+)
+
+func attrProfile(costs map[string]uint64) *profile.Profile {
+	p := &profile.Profile{SchemaVersion: profile.ArtifactSchema, LineBytes: 32}
+	addr := uint32(0x00400000)
+	for _, name := range []string{"hot", "warm", "cold", "idle"} {
+		m, ok := costs[name]
+		if !ok {
+			continue
+		}
+		var c profile.Cost
+		c.CPIStack[cpu.CycleHandler] = m / 2
+		c.CPIStack[cpu.CycleExcService] = m / 4
+		c.CPIStack[cpu.CycleFetchStall] = m - m/2 - m/4
+		c.Cycles = m
+		p.Procs = append(p.Procs, profile.ProcCost{Name: name, Addr: addr, Cost: c})
+		addr += 0x100
+	}
+	return p
+}
+
+func TestFromProfileCoverage(t *testing.T) {
+	p := attrProfile(map[string]uint64{"hot": 8000, "warm": 1500, "cold": 500, "idle": 0})
+	// 10% of 10000 = 1000: hot alone crosses the goal.
+	sel := FromProfile(p, 0.10)
+	if len(sel) != 1 || !sel["hot"] {
+		t.Fatalf("10%% selection = %v", sel)
+	}
+	// 85% needs hot+warm (8000+1500 >= 8500).
+	sel = FromProfile(p, 0.85)
+	if len(sel) != 2 || !sel["hot"] || !sel["warm"] {
+		t.Fatalf("85%% selection = %v", sel)
+	}
+	// Full coverage still never selects a zero-cost procedure.
+	sel = FromProfile(p, 1.0)
+	if sel["idle"] {
+		t.Fatal("zero-cost procedure selected")
+	}
+	if len(FromProfile(p, 0)) != 0 {
+		t.Fatal("fraction 0 selected something")
+	}
+	if len(FromProfile(nil, 0.5)) != 0 {
+		t.Fatal("nil profile selected something")
+	}
+}
+
+func TestFromProfileTieBreakAndOutside(t *testing.T) {
+	p := attrProfile(map[string]uint64{"hot": 1000, "warm": 1000, "cold": 1000})
+	p.Procs = append(p.Procs, profile.ProcCost{Name: profile.OutsideName,
+		Cost: profile.Cost{Cycles: 1 << 40}})
+	// Equal metrics: address order decides, and the first procedure alone
+	// crosses a 30% goal. The outside bucket must never be "selected".
+	sel := FromProfile(p, 0.30)
+	if len(sel) != 1 || !sel["hot"] {
+		t.Fatalf("tie-break selection = %v", sel)
+	}
+	sel = FromProfile(p, 1.0)
+	if sel[profile.OutsideName] {
+		t.Fatal("outside bucket selected")
+	}
+}

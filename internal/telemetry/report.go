@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 // ReportSchema versions the shared report schema emitted by ccprof,
@@ -20,10 +21,13 @@ import (
 //	    sampling; filled when a WindowSampler was attached) and the
 //	    embedded `manifest` provenance stanza (timing-free obs.Manifest:
 //	    tool, args, codec registry, input hashes, git SHA).
+//	4 — adds the `attribution` spatial-profiling stanza (per-line /
+//	    per-procedure cost counts and the top procedures by attributed
+//	    cycles; filled when a profile.Recorder was attached).
 //
 // Additive changes (new fields) do not bump the version; renames and
 // semantic changes do.
-const ReportSchema = 3
+const ReportSchema = 4
 
 // CacheGeometry describes one cache's configuration.
 type CacheGeometry struct {
@@ -120,6 +124,10 @@ type Report struct {
 	// Timeline is the windowed-sampling phase summary (schema v3+),
 	// filled by NewReport when the collector carried a WindowSampler.
 	Timeline *TimelineSummary `json:"timeline,omitempty"`
+
+	// Attribution is the spatial-profiling stanza (schema v4+), set by
+	// SetAttribution when a profile.Recorder observed the run.
+	Attribution *profile.Summary `json:"attribution,omitempty"`
 
 	// Manifest is the embedded run provenance (schema v3+), set by
 	// SetManifest. Always the timing-free Provenance form, so identical
@@ -222,6 +230,18 @@ func (r *Report) SetManifest(m *obs.Manifest) {
 	r.Manifest = m.Provenance()
 }
 
+// SetAttribution embeds the spatial-profiling digest of a verified
+// profile: bucket counts plus the top procedures by attributed cycles.
+// Pass the profile of *this* run — the stanza is a summary, the full
+// artifact ships separately (ccprof -profile).
+func (r *Report) SetAttribution(p *profile.Profile) {
+	if p == nil {
+		r.Attribution = nil
+		return
+	}
+	r.Attribution = p.Summarize(5)
+}
+
 // SetIdentity records what ran: the image name, the compression scheme
 // and (for synthetic benchmarks) the generator seed, mirrored into the
 // config stanza so the report is self-describing.
@@ -297,6 +317,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		row("timeline.cpi_mean", fmt.Sprintf("%.4f", r.Timeline.CPIMean))
 		row("timeline.cpi_max", fmt.Sprintf("%.4f", r.Timeline.CPIMax))
 	}
+	if r.Attribution != nil {
+		row("attribution.lines", r.Attribution.Lines)
+		row("attribution.procs", r.Attribution.Procs)
+		for _, p := range r.Attribution.TopProcs {
+			row("attribution.proc."+p.Name, p.Cycles)
+		}
+	}
 	row("exit_code", r.ExitCode)
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -341,6 +368,13 @@ func (r *Report) WriteText(w io.Writer, t *Collector) error {
 	fmt.Fprintf(&b, "bus: %d reads, %d bytes\n", r.Bus.Reads, r.Bus.BytesRead)
 	if r.Timeline != nil {
 		b.WriteString(r.Timeline.Format())
+	}
+	if a := r.Attribution; a != nil {
+		fmt.Fprintf(&b, "attribution: %d lines, %d procedures with cost\n", a.Lines, a.Procs)
+		for _, p := range a.TopProcs {
+			fmt.Fprintf(&b, "  %-24s %12d cycles  %6.2f%%  decomp %d\n",
+				p.Name, p.Cycles, p.Fraction*100, p.DecompCycles)
+		}
 	}
 	if t != nil {
 		b.WriteString(t.ExcLatency.String())

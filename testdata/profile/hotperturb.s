@@ -1,0 +1,56 @@
+# Attribution fixture for the CI profile-smoke job: a hot loop, a warm
+# loop and a cold helper, so a cycle profile has an unambiguous ranking.
+# This file is hotbase.s with hot running 4x longer —
+# `ccprof diff` of the two profiles must rank `hot` as the top delta
+# contributor.
+# expect: 5500
+        .text
+        .proc main
+main:   move  $s0, $zero             # checksum accumulator
+        jal   hot
+        addu  $s0, $s0, $v0
+        jal   warm
+        addu  $s0, $s0, $v0
+        jal   cold
+        addu  $s0, $s0, $v0
+        move  $a0, $s0
+        ori   $v0, $zero, 1
+        syscall
+        move  $a0, $zero
+        ori   $v0, $zero, 10
+        syscall
+        .endp
+
+# hot: the dominant loop. A deliberately fat body (it spans several
+# I-cache lines) so compressed runs charge it real decompression work.
+        .proc hot
+hot:    ori   $t0, $zero, 1600       # perturbed: 4x hotbase.s
+        move  $v0, $zero
+        move  $t1, $zero
+hloop:  addiu $t1, $t1, 5
+        addiu $t1, $t1, -2
+        sll   $t2, $t1, 1
+        srl   $t2, $t2, 1
+        addu  $t3, $t2, $t1
+        subu  $t3, $t3, $t1
+        addiu $v0, $v0, 3
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, hloop
+        jr    $ra
+        .endp
+
+# warm: a quarter of hot's base iterations.
+        .proc warm
+warm:   ori   $t0, $zero, 100
+        move  $v0, $zero
+wloop:  addiu $v0, $v0, 7
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, wloop
+        jr    $ra
+        .endp
+
+# cold: executes exactly once.
+        .proc cold
+cold:   move  $v0, $zero
+        jr    $ra
+        .endp
