@@ -9,12 +9,19 @@
 //	ccbench run                          run all workloads, append to BENCH_<hostname>.json
 //	ccbench run -scale 1.0 -reps 10      full-length runs, 10 host repetitions
 //	ccbench run -host ci -o BENCH_ci.json -only go/dict/16K
+//	ccbench run -sampled                 also measure the fast tier: sampled CPI
+//	                                     drift vs exact + functional host speed
 //	ccbench compare old.json new.json    compare the latest entries of two files
 //	ccbench compare BENCH_myhost.json    compare the last two entries of one file
 //	ccbench gate                         re-run the registry at the baseline's
 //	                                     scale and fail on any simulated change
 //	ccbench gate -host-threshold 0.2     also fail on significant >20% host slowdowns
 //	ccbench gate -perturb 1.05           self-test: inject +5% cycles, must fail
+//	ccbench gate -sampled                also fail if sampled CPI drifts >1% from
+//	                                     exact on any registry workload
+//	ccbench gate -sampled -perturb-sampled 1.05
+//	                                     self-test: inflate the sampled estimate
+//	                                     by 5%, the drift gate must fail
 //
 // Progress goes to stderr as structured slog lines; -expvar ADDR serves
 // live counters at http://ADDR/debug/vars for long sweeps.
@@ -169,6 +176,7 @@ func cmdRun(args []string, log *slog.Logger) error {
 		only    = fs.String("only", "", "comma-separated workload names (default: all)")
 		keep    = fs.Int("keep", 0, "keep at most N entries in the file (0 = unlimited)")
 		workers = fs.Int("workers", 1, "worker goroutines for the workload fan-out (<=0 = GOMAXPROCS; >1 perturbs host timings)")
+		sampled = fs.Bool("sampled", false, "also measure the fast tier (sampled CPI + functional host speed) per workload")
 		expAdr  = fs.String("expvar", "", "serve expvar progress at this address (e.g. localhost:8372)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -203,10 +211,14 @@ func cmdRun(args []string, log *slog.Logger) error {
 		rep.Step(done, total, s.Workload)
 	}
 	r.Workers = *workers
+	r.Fast = *sampled
 	entry, err := r.Run(fp, splitOnly(*only))
 	rep.Done()
 	if err != nil {
 		return err
+	}
+	if *sampled {
+		printFast(entry)
 	}
 	traj, err := perfwatch.Load(path)
 	if err != nil {
@@ -293,11 +305,17 @@ func cmdGate(args []string, log *slog.Logger) error {
 		hostThr  = fs.Float64("host-threshold", 0, "fail on significant host slowdowns beyond this fraction (0 = sim-only gate)")
 		allowSim = fs.Bool("allow-sim", false, "permit simulated-metric changes (report, don't fail)")
 		perturb  = fs.Float64("perturb", 0, "self-test: multiply measured simulated cycles by this factor")
+		sampled  = fs.Bool("sampled", false, "also gate the fast tier: sampled CPI must stay within -sampled-drift of exact")
+		sDrift   = fs.Float64("sampled-drift", 1.0, "sampled-axis drift limit in percent (with -sampled)")
+		sPerturb = fs.Float64("perturb-sampled", 0, "self-test: multiply the sampled cycle estimates by this factor (implies -sampled)")
 		workers  = fs.Int("workers", 1, "worker goroutines for the workload fan-out (<=0 = GOMAXPROCS; >1 perturbs host timings)")
 		expAdr   = fs.String("expvar", "", "serve expvar progress at this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sPerturb != 0 && *sPerturb != 1 {
+		*sampled = true
 	}
 	base, err := latestEntry(*baseline)
 	if err != nil {
@@ -324,6 +342,7 @@ func cmdGate(args []string, log *slog.Logger) error {
 		rep.Step(done, total, s.Workload)
 	}
 	r.Workers = *workers
+	r.Fast = *sampled
 	entry, err := r.Run(fp, splitOnly(*only))
 	rep.Done()
 	if err != nil {
@@ -333,12 +352,21 @@ func cmdGate(args []string, log *slog.Logger) error {
 		log.Warn("self-test perturbation active", "factor", *perturb)
 		perfwatch.PerturbSim(&entry, *perturb)
 	}
+	if *sPerturb != 0 && *sPerturb != 1 {
+		log.Warn("sampled self-test perturbation active", "factor", *sPerturb)
+		perfwatch.PerturbSampled(&entry, *sPerturb)
+	}
 
 	c := perfwatch.CompareEntries(base, entry)
 	c.Format(os.Stdout, true)
 	fmt.Println(c.Summary())
 	policy := perfwatch.GatePolicy{AllowSimChange: *allowSim, HostThreshold: *hostThr}
-	if violations := policy.Check(c); len(violations) > 0 {
+	violations := policy.Check(c)
+	if *sampled {
+		printFast(entry)
+		violations = append(violations, perfwatch.CheckFast(entry, *sDrift)...)
+	}
+	if len(violations) > 0 {
 		for _, v := range violations {
 			log.Error("gate violation", "workload", v.Workload, "reason", v.Reason)
 		}
@@ -347,4 +375,24 @@ func cmdGate(args []string, log *slog.Logger) error {
 	}
 	log.Info("gate passed", "workloads", len(c.Deltas))
 	return nil
+}
+
+// printFast prints the fast-tier table of one entry: per-workload
+// sampled accuracy and functional host speed.
+func printFast(e perfwatch.Entry) {
+	fmt.Printf("%-24s %10s %8s %9s %9s %10s\n",
+		"fast tier", "sampled", "drift", "windows", "bursts", "funct")
+	for _, s := range e.Samples {
+		if s.Fast == nil {
+			fmt.Printf("%-24s %10s\n", s.Workload, "(none)")
+			continue
+		}
+		drift, _ := s.SampledDrift()
+		funct := "n/a"
+		if sp, ok := s.FunctSpeedup(); ok {
+			funct = fmt.Sprintf("%.1fx", sp)
+		}
+		fmt.Printf("%-24s %10.4f %+7.3f%% %9d %9d %10s\n",
+			s.Workload, s.Fast.SampledCPI, drift, s.Fast.Windows, s.Fast.Bursts, funct)
+	}
 }

@@ -7,11 +7,14 @@
 //	ccfuzz -n 2000                       # smoke campaign, fixed seeds 0..1999
 //	ccfuzz -n 100000 -seed 500000        # long campaign from another seed range
 //	ccfuzz -n 50 -mutate drop-swic       # self-check: injected bug must be found
+//	ccfuzz -n 2000 -functional           # also fuzz functional-vs-detailed divergence
+//	ccfuzz -n 20 -functional-break       # self-check of the functional oracle
 //	ccfuzz -n 5000 -jsonl out.jsonl -out repro/ -timeout 10s
 //
 // Exit status is 1 when the campaign produced findings, 2 on usage
-// errors, and 0 on a clean run (for -mutate runs the polarity flips:
-// a clean run means the harness MISSED the injected bug and exits 1).
+// errors, and 0 on a clean run (for -mutate and -functional-break runs
+// the polarity flips: a clean run means the harness MISSED the injected
+// bug and exits 1).
 package main
 
 import (
@@ -35,6 +38,8 @@ var (
 	jsonl    = flag.String("jsonl", "", "append findings as JSON lines to this file")
 	timeout  = flag.Duration("timeout", 30*time.Second, "wall-clock budget per case (0 = unlimited)")
 	maxSteps = flag.Uint64("maxsteps", 0, "user-instruction budget per case (0 = default)")
+	funct    = flag.Bool("functional", false, "also replay every image on the functional fast-forward engine (functional-lockstep oracle)")
+	fbreak   = flag.Bool("functional-break", false, "corrupt the functional handler (must-fail self-check; implies -functional)")
 	stop     = flag.Int("stopafter", 0, "stop after this many findings (0 = run the full range)")
 	workers  = flag.Int("workers", 1, "worker goroutines for the case fan-out (<=0 = GOMAXPROCS; outputs stay in seed order)")
 	quiet    = flag.Bool("q", false, "suppress per-case progress")
@@ -50,14 +55,16 @@ func main() {
 	}
 
 	cfg := diffsim.CampaignConfig{
-		StartSeed: *seed,
-		Cases:     *cases,
-		Shrink:    !*noShrink,
-		OutDir:    *outDir,
-		MaxSteps:  *maxSteps,
-		Timeout:   *timeout,
-		StopAfter: *stop,
-		Workers:   *workers,
+		StartSeed:       *seed,
+		Cases:           *cases,
+		Shrink:          !*noShrink,
+		OutDir:          *outDir,
+		MaxSteps:        *maxSteps,
+		Timeout:         *timeout,
+		StopAfter:       *stop,
+		Workers:         *workers,
+		Functional:      *funct || *fbreak,
+		FunctionalBreak: *fbreak,
 	}
 	switch *shadow {
 	case "auto":
@@ -105,14 +112,17 @@ func main() {
 	fmt.Printf("ccfuzz: %d cases, %d findings, %d skipped in %v\n",
 		sum.Cases, len(sum.Findings), sum.Skipped, time.Since(start).Round(time.Millisecond))
 
-	if cfg.Mutation != nil {
+	if cfg.Mutation != nil || cfg.FunctionalBreak {
 		// Self-check polarity: the injected bug must be found.
+		what := "functional-break"
+		if cfg.Mutation != nil {
+			what = "mutation " + cfg.Mutation.Name
+		}
 		if len(sum.Findings) == 0 {
-			log.Printf("FAIL: mutation %s not detected in %d cases", cfg.Mutation.Name, sum.Cases)
+			log.Printf("FAIL: %s not detected in %d cases", what, sum.Cases)
 			os.Exit(1)
 		}
-		fmt.Printf("ccfuzz: mutation %s detected at seed %d\n",
-			cfg.Mutation.Name, sum.Findings[0].Seed)
+		fmt.Printf("ccfuzz: %s detected at seed %d\n", what, sum.Findings[0].Seed)
 		return
 	}
 	if len(sum.Findings) > 0 {

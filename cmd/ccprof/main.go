@@ -14,6 +14,9 @@
 //	                                    selective compression: hottest 5%
 //	                                    (by misses) stays native
 //	ccprof -format json -trace trace.json -folded profile.folded prog.img
+//	ccprof -mode sampled prog.img       sampled CPI estimate (internal/fastpath)
+//	                                    through the same image pipeline:
+//	                                    -bench/-scheme/-selective all apply
 //	ccprof -heatmap sets.csv prog.img   per-set cache counters as CSV
 //	ccprof -timeline tl.csv prog.img    windowed time-series telemetry
 //	ccprof -window 1024 -phases prog.img
@@ -38,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +53,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fastpath"
 	"repro/internal/minic"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -88,6 +93,9 @@ func main() {
 		profPath  = flag.String("profile", "", "write the attribution artifact here (.csv = CSV, else JSON)")
 		lines     = flag.Bool("lines", false, "print the per-cache-line attribution table")
 		procs     = flag.Bool("procs", false, "print the per-procedure attribution table")
+		mode      = flag.String("mode", "exact", "simulation tier: exact (full telemetry), sampled (fast CPI estimate)")
+		sWindow   = flag.Uint64("sample-window", 0, "sampled mode: measured detailed window length (0 = default)")
+		sIntv     = flag.Uint64("sample-interval", 0, "sampled mode: functional fast-forward length (0 = default)")
 	)
 	flag.Parse()
 	if (*bench == "") == (flag.NArg() != 1) {
@@ -98,6 +106,22 @@ func main() {
 	case "text", "csv", "json":
 	default:
 		fmt.Fprintf(os.Stderr, "ccprof: unknown -format %q (want text, csv or json)\n", *format)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *mode {
+	case "exact":
+	case "sampled":
+		// The sampled tier estimates CPI; everything below needs the
+		// detailed engine's full event stream.
+		if *tracePath != "" || *foldPath != "" || *heatPath != "" || *timeline != "" ||
+			*phases || *profPath != "" || *lines || *procs || *format == "csv" {
+			fmt.Fprintln(os.Stderr, "ccprof: -mode sampled supports only -format text/json (no trace/attribution observers)")
+			flag.Usage()
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ccprof: bad -mode %q (want exact, sampled)\n", *mode)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -143,6 +167,19 @@ func main() {
 	}
 	if err := man.AddImage("run-image", im); err != nil {
 		log.Fatal(err)
+	}
+
+	if *mode == "sampled" {
+		sampledRun(im, cfg, fastpath.SampleConfig{Window: *sWindow, Interval: *sIntv},
+			name, *format, *outPath)
+		if *manifest != "" {
+			man.SetConfig("mode", "sampled")
+			man.Finish(start)
+			if err := man.Write(*manifest); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 
 	col := telemetry.New()
@@ -264,6 +301,48 @@ func loadImage(bench string, scale float64, args []string) (*program.Image, stri
 		im, err := program.LoadFile(path)
 		return im, name, 0, err
 	}
+}
+
+// sampledRun is the -mode sampled tier: the image goes through the same
+// build/compress pipeline as an exact run, then internal/fastpath
+// estimates CPI with functional fast-forward between short detailed
+// windows instead of simulating every cycle.
+func sampledRun(im *program.Image, cfg cpu.Config, scfg fastpath.SampleConfig, name, format, outPath string) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Out = os.Stderr
+	if err := c.Load(im); err != nil {
+		log.Fatal(err)
+	}
+	res, err := fastpath.Sampled(c, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Fprintf(out, "%s (%s): sampled CPI %.4f (95%% CI [%.4f, %.4f])\n",
+		name, schemeOf(im), res.CPI, res.CPILow, res.CPIHigh)
+	fmt.Fprintf(out, "estimated cycles %d over %d user instructions\n", res.EstCycles, res.TotalInstrs)
+	fmt.Fprintf(out, "%d windows, %d fast-forward bursts, %d exact cycles, %.1f%% run detailed\n",
+		res.Windows, res.Bursts, res.ExactCycles,
+		100*float64(res.DetailedInstrs)/float64(res.TotalInstrs))
 }
 
 // nativeProfile runs the native image once to collect the per-procedure

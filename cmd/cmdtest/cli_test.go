@@ -115,6 +115,24 @@ func TestCLIExitCodes(t *testing.T) {
 		{"simrun/profile", "simrun", []string{"-profile", imgMarker}, 0, ""},
 		{"ccprof/procs", "ccprof", []string{"-procs", imgMarker}, 0, ""},
 
+		// Fast-tier flag contract: bad mode values and incoherent flag
+		// combinations exit 2 with usage; the valid tiers run clean.
+		{"simrun/bad-mode", "simrun", []string{"-mode", "warp", imgMarker}, 2, "bad -mode"},
+		{"simrun/checkpoint-at-needs-checkpoint", "simrun", []string{"-checkpoint-at", "5", imgMarker}, 2, "-checkpoint-at needs -checkpoint"},
+		{"simrun/checkpoint-needs-exact", "simrun", []string{"-mode", "sampled", "-checkpoint", "ck.json", imgMarker}, 2, "-checkpoint requires -mode exact"},
+		{"simrun/restore-with-compare", "simrun", []string{"-restore", "ck.json", "-compare"}, 2, "mutually exclusive"},
+		{"simrun/restore-with-arg", "simrun", []string{"-restore", "ck.json", imgMarker}, 2, "Usage"},
+		{"simrun/sampled-with-telemetry", "simrun", []string{"-mode", "sampled", "-telemetry", imgMarker}, 2, "detailed-engine observers"},
+		{"simrun/restore-missing-file", "simrun", []string{"-mode", "functional", "-restore", "no-such.ck"}, 1, "no such file"},
+		{"simrun/functional-runs", "simrun", []string{"-mode", "functional", imgMarker}, 0, ""},
+		{"simrun/sampled-runs", "simrun", []string{"-mode", "sampled", "-sample-window", "100", "-sample-interval", "400", imgMarker}, 0, ""},
+		{"ccprof/bad-mode", "ccprof", []string{"-mode", "warp", imgMarker}, 2, "bad -mode"},
+		{"ccprof/sampled-with-procs", "ccprof", []string{"-mode", "sampled", "-procs", imgMarker}, 2, "-mode sampled supports only"},
+		{"ccprof/sampled-csv", "ccprof", []string{"-mode", "sampled", "-format", "csv", imgMarker}, 2, "-mode sampled supports only"},
+		{"ccprof/sampled-runs", "ccprof", []string{"-mode", "sampled", imgMarker}, 0, ""},
+		{"ccbench/gate-bogus-sampled-flag", "ccbench", []string{"gate", "-sampled-drift", "notanumber"}, 2, "invalid value"},
+		{"ccfuzz/bad-functional-flag", "ccfuzz", []string{"-functional", "maybe"}, 2, "Usage"},
+
 		// Unknown schemes resolve through the codec registry: the error
 		// names the available schemes and the tool exits 1.
 		{"ccprof/unknown-scheme", "ccprof", []string{"-scheme", "zstd", srcMarker}, 1, "available"},

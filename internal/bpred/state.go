@@ -1,0 +1,31 @@
+package bpred
+
+import "fmt"
+
+// State is a serialisable snapshot of a Predictor: the 2-bit counter
+// table and the lookup/mispredict totals.
+type State struct {
+	Table       []uint8 `json:"table"`
+	Lookups     uint64  `json:"lookups"`
+	Mispredicts uint64  `json:"mispredicts"`
+}
+
+// Snapshot captures a deep copy of the predictor state.
+func (p *Predictor) Snapshot() State {
+	st := State{Lookups: p.Lookups, Mispredicts: p.Mispredicts}
+	st.Table = make([]uint8, len(p.table))
+	copy(st.Table, p.table)
+	return st
+}
+
+// Restore replaces the predictor state with the snapshot. The table
+// length must match this predictor's entry count.
+func (p *Predictor) Restore(st State) error {
+	if len(st.Table) != len(p.table) {
+		return fmt.Errorf("bpred: snapshot has %d entries, predictor %d", len(st.Table), len(p.table))
+	}
+	copy(p.table, st.Table)
+	p.Lookups = st.Lookups
+	p.Mispredicts = st.Mispredicts
+	return nil
+}

@@ -1,0 +1,81 @@
+package cache
+
+import "fmt"
+
+// LineState is one serialised cache line.
+type LineState struct {
+	Valid bool   `json:"valid"`
+	Tag   uint32 `json:"tag"`
+	LRU   uint64 `json:"lru"`
+	Data  []byte `json:"data,omitempty"` // nil for caches that track presence only
+}
+
+// State is a serialisable snapshot of a Cache: geometry, every line
+// (set-major, way-minor — a deterministic order), the LRU clock and the
+// event counters. The MRU hint is not part of the state; it is a pure
+// cache over the sets and is rebuilt on the first access after Restore.
+type State struct {
+	Config Config        `json:"config"`
+	Clock  uint64        `json:"clock"`
+	Stats  Stats         `json:"stats"`
+	Sets   [][]LineState `json:"sets"`
+}
+
+// Snapshot captures a deep copy of the cache state.
+func (c *Cache) Snapshot() State {
+	st := State{Config: c.cfg, Clock: c.clock, Stats: c.Stats}
+	st.Sets = make([][]LineState, len(c.sets))
+	for s := range c.sets {
+		ways := make([]LineState, len(c.sets[s]))
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			ls := LineState{Valid: ln.valid, Tag: ln.tag, LRU: ln.lru}
+			if ln.data != nil {
+				ls.Data = make([]byte, len(ln.data))
+				copy(ls.Data, ln.data)
+			}
+			ways[w] = ls
+		}
+		st.Sets[s] = ways
+	}
+	return st
+}
+
+// Restore replaces the cache contents with the snapshot. The geometry
+// must match this cache's configuration; the MRU hint is cleared.
+func (c *Cache) Restore(st State) error {
+	if st.Config != c.cfg {
+		return fmt.Errorf("cache: snapshot geometry %+v does not match cache %+v", st.Config, c.cfg)
+	}
+	if len(st.Sets) != len(c.sets) {
+		return fmt.Errorf("cache: snapshot has %d sets, cache %d", len(st.Sets), len(c.sets))
+	}
+	for s := range st.Sets {
+		if len(st.Sets[s]) != len(c.sets[s]) {
+			return fmt.Errorf("cache: snapshot set %d has %d ways, cache %d", s, len(st.Sets[s]), len(c.sets[s]))
+		}
+		for w := range st.Sets[s] {
+			ls := st.Sets[s][w]
+			ln := &c.sets[s][w]
+			ln.valid = ls.Valid
+			ln.tag = ls.Tag
+			ln.lru = ls.LRU
+			if ls.Data != nil {
+				if len(ls.Data) != c.cfg.LineBytes {
+					return fmt.Errorf("cache: snapshot line %d/%d has %d bytes, want %d",
+						s, w, len(ls.Data), c.cfg.LineBytes)
+				}
+				if ln.data == nil {
+					ln.data = make([]byte, c.cfg.LineBytes)
+				}
+				copy(ln.data, ls.Data)
+			} else {
+				ln.data = nil
+			}
+		}
+	}
+	c.clock = st.Clock
+	c.Stats = st.Stats
+	c.mruIdx, c.mruLine = 0, nil
+	return nil
+}

@@ -19,7 +19,7 @@ const defaultDetPkgs = "repro," +
 	"internal/cpu,internal/cache,internal/mem,internal/bpred," +
 	"internal/decomp,internal/isa,internal/program,internal/diffsim," +
 	"internal/telemetry,internal/experiment,internal/perfwatch," +
-	"internal/profile," +
+	"internal/profile,internal/fastpath," +
 	"internal/core,internal/verify,internal/selective,internal/placement," +
 	"internal/compress,internal/synth,internal/trace,internal/parallel," +
 	"internal/asm,internal/minic,internal/analysis,internal/codec"

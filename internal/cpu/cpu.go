@@ -45,6 +45,29 @@ type Config struct {
 	// Run returns an error when it is exceeded. 0 means no bound.
 	MaxInstr uint64
 
+	// Functional selects the functional fast-forward engine for Run():
+	// identical architectural semantics, no timing model — no caches,
+	// no branch predictor, no cycle accounting (see funct.go). Work is
+	// counted in CPU.FStats; cpu.Stats stays untouched. The sampled
+	// driver in internal/fastpath switches engines mid-run via
+	// RunDetailedFor/RunFunctionalFor regardless of this flag.
+	Functional bool
+	// FunctionalBreak deliberately corrupts the functional engine's
+	// handler swic stores (one bit per word). It exists solely as the
+	// equivalence battery's negative control: a broken functional
+	// handler must be caught by the battery, proving the comparison has
+	// teeth.
+	FunctionalBreak bool
+	// FunctionalWarm selects SMARTS-style functional warming for the
+	// functional engine: fetches, loads, branches and swic stores touch
+	// the real I-cache, D-cache and branch predictor exactly as the
+	// detailed engine would — filling, evicting and training, with no
+	// cycle charges — so a fast-forward interval leaves the timing
+	// state where a detailed run would have. fastpath.Sampled turns
+	// this on for its intervals; plain fast-forward leaves it off and
+	// keeps the faster flat-decode dispatch.
+	FunctionalWarm bool
+
 	// DisablePredecode forces the reference decode-every-cycle fetch
 	// path: isa fields are re-extracted from the raw word on every
 	// executed instruction instead of once per I-cache fill. Both paths
@@ -166,9 +189,34 @@ type CPU struct {
 	hdec     []pinstr
 	scratch  pinstr
 
+	// Functional-engine state (see funct.go). fsWord/fsOK are the
+	// materialised decompressed code over the compressed region, one
+	// word and one validity byte per address (the functional stand-in
+	// for the I-cache: never evicts); fxtra catches swic stores outside
+	// that region (rare; never fetched). fcdec/fcOK cache decoded
+	// records in lockstep with fsWord; fdec/fdOK do the same over the
+	// native code extent [fdBase,fdEnd). All flat stores are allocated
+	// lazily on first functional execution. flastExc/fexcRepet mirror
+	// the detailed repeated-exception guard.
+	fsWord    []uint32
+	fsOK      []uint8
+	fxtra     map[uint32]uint32
+	fcdec     []pinstr
+	fcOK      []uint8
+	fdec      []pinstr
+	fdOK      []uint8
+	fdBase    uint32
+	fdEnd     uint32
+	fhdOK     []uint8
+	flastExc  uint32
+	fexcRepet int
+
 	Stats Stats
-	Prof  Profiler
-	Out   io.Writer
+	// FStats counts functional-engine work; separate from Stats because
+	// functional counters carry no timing meaning (funct.go).
+	FStats FunctStats
+	Prof   Profiler
+	Out    io.Writer
 	// Trace, when set, receives every committed instruction (after
 	// execution): its address, encoding and whether it ran inside the
 	// decompression handler. Used by the trace ring in internal/trace.
@@ -199,6 +247,7 @@ func New(cfg Config) (*CPU, error) {
 		lastLoad: -1,
 	}
 	c.resetPredecode()
+	c.resetFunctional()
 	return c, nil
 }
 
@@ -231,7 +280,21 @@ func (c *CPU) Load(im *program.Image) error {
 			c.c0[6] |= 2 // StatusShadowRF
 		}
 	}
+	c.fdBase, c.fdEnd = 0, 0
+	for _, name := range []string{program.SegText, program.SegNative} {
+		s := im.Segment(name)
+		if s == nil || s.Virtual || len(s.Data) == 0 {
+			continue
+		}
+		if c.fdEnd == 0 || s.Base < c.fdBase {
+			c.fdBase = s.Base
+		}
+		if s.End() > c.fdEnd {
+			c.fdEnd = s.End()
+		}
+	}
 	c.resetPredecode()
+	c.resetFunctional()
 	if !c.Cfg.DisablePredecode {
 		c.predecodeHandler()
 	}
@@ -261,6 +324,10 @@ func (c *CPU) HiLo() (hi, lo uint32) { return c.hi, c.lo }
 // Halted reports whether the program has exited, and with which code.
 func (c *CPU) Halted() (bool, int32) { return c.halted, c.exitCode }
 
+// InHandler reports whether execution is currently inside the
+// decompression handler (between exception entry and iret).
+func (c *CPU) InHandler() bool { return c.inHandler }
+
 // InCompressedRegion reports whether addr lies in the compressed
 // (decompressed-on-miss) code region.
 func (c *CPU) InCompressedRegion(addr uint32) bool {
@@ -275,11 +342,14 @@ func (c *CPU) inHandlerRAM(addr uint32) bool {
 // It returns the exit code (0 if still running when maxInstr was reached
 // with MaxInstr==0 semantics, see Config).
 func (c *CPU) Run() (int32, error) {
+	if c.Cfg.Functional {
+		return c.runFunctional()
+	}
 	for !c.halted {
 		if err := c.Step(); err != nil {
 			return -1, err
 		}
-		if c.Cfg.MaxInstr > 0 && c.Stats.Instrs+c.Stats.HandlerInstrs >= c.Cfg.MaxInstr {
+		if c.Cfg.MaxInstr > 0 && c.totalInstrs() >= c.Cfg.MaxInstr {
 			return -1, fmt.Errorf("cpu: instruction budget %d exhausted at pc %#x",
 				c.Cfg.MaxInstr, c.pc)
 		}

@@ -25,6 +25,12 @@ type CampaignConfig struct {
 	ShadowRF func(seed int64) bool
 	// Mutation applies one known-bug injection to every case.
 	Mutation *Mutation
+	// Functional enables the functional-lockstep oracle on every case
+	// (each image also replayed on the functional fast-forward engine).
+	Functional bool
+	// FunctionalBreak corrupts the functional handler on every case —
+	// the functional oracle's must-fail self-check.
+	FunctionalBreak bool
 	// Shrink reduces each finding to a minimal reproducer.
 	Shrink bool
 	// OutDir receives reproducer .s files for findings ("" = none).
@@ -134,7 +140,10 @@ func Run(cfg CampaignConfig) (*Summary, error) {
 			p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
 			o := caseOutcome{
 				seed: seed,
-				opts: Options{ShadowRF: shadow(seed), MaxSteps: cfg.MaxSteps, Mutation: cfg.Mutation},
+				opts: Options{
+					ShadowRF: shadow(seed), MaxSteps: cfg.MaxSteps, Mutation: cfg.Mutation,
+					Functional: cfg.Functional, FunctionalBreak: cfg.FunctionalBreak,
+				},
 			}
 			f, err := checkWithTimeout(p, o.opts, cfg.Timeout)
 			if err != nil {

@@ -48,6 +48,20 @@ type Options struct {
 	// Mutation, when set, injects a known bug into the built images
 	// before the run (self-check of the harness's detection power).
 	Mutation *Mutation
+	// Functional enables the functional-lockstep oracle: every image is
+	// additionally replayed on the functional fast-forward engine and
+	// its final architectural state must match the detailed run
+	// (functional.go).
+	Functional bool
+	// FunctionalBreak corrupts the functional engine's handler
+	// execution (cpu.Config.FunctionalBreak) — the functional oracle's
+	// own detection-power self-check. Only meaningful with Functional.
+	FunctionalBreak bool
+	// ICacheBytes overrides the I-cache size (0 = the default 16 KiB).
+	// Corpus entries use a small cache to force swic churn — the same
+	// compressed line repeatedly evicted and re-materialised — which
+	// generated programs are too small to provoke at the default size.
+	ICacheBytes int
 }
 
 // Failure describes one confirmed differential finding.
@@ -142,6 +156,9 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 	// fetched entry is re-decoded from the backing I-cache word and any
 	// mismatch (a stale entry surviving a swic overwrite) fails the run.
 	cfg.PredecodeCheck = true
+	if opts.ICacheBytes > 0 {
+		cfg.ICache.SizeBytes = opts.ICacheBytes
+	}
 	orc := newOracle(images)
 	// Each machine also carries a telemetry window sampler with a small
 	// window, so every fuzz case additionally proves the windowed-
@@ -200,6 +217,11 @@ func Check(p *synth.RandProgram, opts Options) (*Failure, error) {
 	}
 	if reason, img := checkProfiles(recorders); reason != "" {
 		return fail(img, reason)
+	}
+	if opts.Functional {
+		if reason, img := checkFunctional(images, results, opts); reason != "" {
+			return fail(img, reason)
+		}
 	}
 	return nil, nil
 }

@@ -107,9 +107,13 @@ func TestCampaignEmitsFindings(t *testing.T) {
 	}
 }
 
-// TestCommittedReproducerStillChecks re-runs the checked-in reproducer
-// fixture: the pipeline (unmutated) must pass on it, proving the file
-// stays loadable and meaningful.
+// TestCommittedReproducerStillChecks re-runs every checked-in
+// reproducer and corpus fixture: the pipeline (unmutated, with the
+// functional-lockstep oracle on) must pass on each recorded seed under
+// its recorded options, proving the files stay loadable and meaningful.
+// Corpus entries (header `# corpus:`) are unshrunk generator output, so
+// their bodies must additionally regenerate bit-identically from the
+// seed alone.
 func TestCommittedReproducerStillChecks(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "diffsim", "*.s"))
 	if err != nil {
@@ -123,31 +127,93 @@ func TestCommittedReproducerStillChecks(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Reproducers are generated programs: regenerate from the seed
-		// recorded in the header and confirm the render matches the file
-		// body (the generator is the reproducer's source of truth).
+		// Reproducers are generated programs: the header records the
+		// generator seed and replay options (the generator is the
+		// reproducer's source of truth).
 		var seed int64
-		found := false
+		opts := Options{Functional: true}
+		found, corpus := false, false
 		for _, line := range strings.Split(string(data), "\n") {
-			if strings.HasPrefix(line, "# diffsim reproducer: seed=") {
-				rest := strings.TrimPrefix(line, "# diffsim reproducer: seed=")
-				n, err := strconv.ParseInt(strings.Fields(rest)[0], 10, 64)
-				if err != nil {
-					t.Fatalf("%s: bad seed header: %v", file, err)
+			if strings.HasPrefix(line, "# corpus:") {
+				corpus = true
+			}
+			if !strings.HasPrefix(line, "# diffsim reproducer: seed=") {
+				continue
+			}
+			for _, f := range strings.Fields(strings.TrimPrefix(line, "# diffsim reproducer: ")) {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					continue
 				}
-				seed, found = n, true
+				switch k {
+				case "seed":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil {
+						t.Fatalf("%s: bad seed header: %v", file, err)
+					}
+					seed, found = n, true
+				case "shadow_rf":
+					opts.ShadowRF = v == "true"
+				case "icache_bytes":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						t.Fatalf("%s: bad icache_bytes header: %v", file, err)
+					}
+					opts.ICacheBytes = n
+				}
 			}
 		}
 		if !found {
 			t.Fatalf("%s: missing seed header", file)
 		}
 		p := synth.GenerateRandom(synth.DefaultRandSpec(seed))
-		fail, err := Check(p, Options{ShadowRF: false})
+		if corpus {
+			body := string(data)
+			if i := strings.Index(body, "# Generated by"); i >= 0 {
+				body = body[i:]
+			}
+			if body != p.Render() {
+				t.Fatalf("%s: body does not regenerate bit-identically from seed %d", file, seed)
+			}
+		}
+		fail, err := Check(p, opts)
 		if err != nil {
 			t.Fatalf("%s: inconclusive: %v", file, err)
 		}
 		if fail != nil {
 			t.Fatalf("%s: unmutated pipeline fails on reproducer seed: %v", file, fail)
 		}
+	}
+}
+
+// TestFunctionalOracleDetectsBreak is the functional oracle's negative
+// control: a corrupted functional handler (every swic flips one bit)
+// must surface as a finding on a seed known to take decompression
+// exceptions — otherwise the functional comparison has no teeth.
+func TestFunctionalOracleDetectsBreak(t *testing.T) {
+	p := synth.GenerateRandom(synth.DefaultRandSpec(7))
+	fail, err := Check(p, Options{Functional: true, FunctionalBreak: true})
+	if err != nil {
+		t.Fatalf("inconclusive: %v", err)
+	}
+	if fail == nil {
+		t.Fatal("broken functional handler produced no finding")
+	}
+	if !strings.Contains(fail.Reason, "functional") {
+		t.Fatalf("finding not attributed to the functional oracle: %v", fail)
+	}
+}
+
+// TestFunctionalCampaignSmoke runs a small campaign with the functional
+// oracle enabled end to end: zero findings, and the option survives the
+// campaign plumbing (shrinker included via TestFunctionalOracleDetectsBreak's
+// Check path).
+func TestFunctionalCampaignSmoke(t *testing.T) {
+	sum, err := Run(CampaignConfig{Cases: 25, Functional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Findings) != 0 {
+		t.Fatalf("functional campaign found %d divergences; first: %+v", len(sum.Findings), sum.Findings[0])
 	}
 }

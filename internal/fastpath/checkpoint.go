@@ -1,0 +1,164 @@
+// Package fastpath is the simulator's fast tier: full-machine-state
+// checkpoints, whole-run functional execution, and SMARTS-style sampled
+// simulation that alternates the functional and detailed engines to
+// estimate CPI with confidence intervals at a fraction of the detailed
+// host cost.
+//
+// The package composes state the core packages own: cpu.MachineState,
+// mem.State, cache.State and bpred.State each capture one layer, and a
+// Checkpoint binds them together under a schema-versioned, checksummed
+// on-disk envelope carrying an obs.Manifest provenance stanza.
+package fastpath
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// CheckpointSchema is the on-disk checkpoint format version. Bump it on
+// any incompatible change and record the change in docs/performance.md
+// (checkpoint format changelog).
+const CheckpointSchema = 1
+
+// Checkpoint is a complete simulated-machine state: configuration,
+// core (registers, HI/LO, CP0, statistics, functional code store),
+// memory image, both caches (including swic-written I-cache lines) and
+// the branch predictor. Applying it reproduces the source machine
+// bit-identically: a resumed run retires the same instructions and
+// charges the same cycles as the uninterrupted one.
+type Checkpoint struct {
+	SchemaVersion int `json:"schema_version"`
+	// Manifest is the timing-free provenance stanza of the run that
+	// captured the checkpoint (tool, arguments, inputs, code version).
+	Manifest *obs.Manifest    `json:"manifest,omitempty"`
+	Config   cpu.Config       `json:"config"`
+	Machine  cpu.MachineState `json:"machine"`
+	Memory   mem.State        `json:"memory"`
+	ICache   cache.State      `json:"icache"`
+	DCache   cache.State      `json:"dcache"`
+	Bpred    bpred.State      `json:"bpred"`
+}
+
+// Capture snapshots the machine. man, when non-nil, contributes its
+// timing-free provenance stanza; the CPU keeps running unaffected (all
+// snapshots are deep copies).
+func Capture(c *cpu.CPU, man *obs.Manifest) *Checkpoint {
+	ck := &Checkpoint{
+		SchemaVersion: CheckpointSchema,
+		Config:        c.Cfg,
+		Machine:       c.CaptureState(),
+		Memory:        c.Mem.Snapshot(),
+		ICache:        c.IC.Snapshot(),
+		DCache:        c.DC.Snapshot(),
+		Bpred:         c.BP.Snapshot(),
+	}
+	if man != nil {
+		ck.Manifest = man.Provenance()
+	}
+	return ck
+}
+
+// Apply builds a fresh CPU in exactly the checkpointed state. No image
+// load is needed (or possible): memory, caches, predictor and core
+// state all come from the checkpoint; derived caches (predecode, the
+// functional decode caches) are rebuilt.
+func (ck *Checkpoint) Apply() (*cpu.CPU, error) {
+	if ck.SchemaVersion != CheckpointSchema {
+		return nil, fmt.Errorf("fastpath: checkpoint schema v%d, this build supports v%d",
+			ck.SchemaVersion, CheckpointSchema)
+	}
+	c, err := cpu.New(ck.Config)
+	if err != nil {
+		return nil, fmt.Errorf("fastpath: checkpoint config: %v", err)
+	}
+	if err := c.Mem.Restore(ck.Memory); err != nil {
+		return nil, fmt.Errorf("fastpath: %v", err)
+	}
+	if err := c.IC.Restore(ck.ICache); err != nil {
+		return nil, fmt.Errorf("fastpath: I-cache: %v", err)
+	}
+	if err := c.DC.Restore(ck.DCache); err != nil {
+		return nil, fmt.Errorf("fastpath: D-cache: %v", err)
+	}
+	if err := c.BP.Restore(ck.Bpred); err != nil {
+		return nil, fmt.Errorf("fastpath: %v", err)
+	}
+	// After memory: RestoreState re-predecodes handler RAM from it.
+	c.RestoreState(ck.Machine)
+	return c, nil
+}
+
+// envelope is the on-disk frame around the checkpoint payload: the
+// schema version is readable without parsing the (large) payload, and
+// the digest refuses corrupt or truncated files before any state is
+// deserialised.
+type envelope struct {
+	SchemaVersion int             `json:"schema_version"`
+	SHA256        string          `json:"sha256"`
+	Checkpoint    json.RawMessage `json:"checkpoint"`
+}
+
+// Save writes the checkpoint to path: a JSON envelope holding the
+// schema version, the SHA-256 of the payload bytes, and the payload.
+// The encoding is deterministic (no map-ordered fields), so identical
+// machine states produce identical files.
+func (ck *Checkpoint) Save(path string) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("fastpath: encode checkpoint: %v", err)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(envelope{
+		SchemaVersion: ck.SchemaVersion,
+		SHA256:        hex.EncodeToString(sum[:]),
+		Checkpoint:    payload,
+	})
+	if err != nil {
+		return fmt.Errorf("fastpath: encode envelope: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("fastpath: %v", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint from path, refusing unparseable files,
+// schema mismatches (the error names both versions) and payloads whose
+// digest does not match (corruption or truncation).
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fastpath: %v", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("fastpath: %s: not a checkpoint file: %v", path, err)
+	}
+	if env.SchemaVersion != CheckpointSchema {
+		return nil, fmt.Errorf("fastpath: %s: checkpoint schema v%d, this build supports v%d",
+			path, env.SchemaVersion, CheckpointSchema)
+	}
+	sum := sha256.Sum256(env.Checkpoint)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, fmt.Errorf("fastpath: %s: payload digest mismatch (file corrupt or truncated)", path)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(env.Checkpoint, &ck); err != nil {
+		return nil, fmt.Errorf("fastpath: %s: decode checkpoint: %v", path, err)
+	}
+	if ck.SchemaVersion != CheckpointSchema {
+		return nil, fmt.Errorf("fastpath: %s: checkpoint schema v%d, this build supports v%d",
+			path, ck.SchemaVersion, CheckpointSchema)
+	}
+	return &ck, nil
+}

@@ -1,0 +1,13 @@
+package fastpath
+
+import "repro/internal/cpu"
+
+// Functional runs the loaded machine to completion entirely on the
+// functional engine, regardless of Config.Functional. Work lands in
+// c.FStats; c.Stats stays zero (no cycles are ever charged).
+func Functional(c *cpu.CPU) (int32, error) {
+	prev := c.Cfg.Functional
+	c.Cfg.Functional = true
+	defer func() { c.Cfg.Functional = prev }()
+	return c.Run()
+}

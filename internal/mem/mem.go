@@ -184,8 +184,12 @@ func (m *Memory) LoadSegment(s *program.Segment) {
 	if s.Virtual {
 		return
 	}
-	for i, b := range s.Data {
-		m.StoreByte(s.Base+uint32(i), b)
+	addr, data := s.Base, s.Data
+	for len(data) > 0 {
+		p := m.page(addr, true)
+		n := copy(p[addr&(pageSize-1):], data)
+		addr += uint32(n)
+		data = data[n:]
 	}
 }
 

@@ -120,6 +120,10 @@ type Runner struct {
 	// perturb each other's host wall times — keep 1 when the host axis
 	// feeds a trajectory file, raise it for sim-only or smoke use.
 	Workers int
+	// Fast additionally measures the fast tier per workload: one sampled
+	// run (its drift vs the exact axis feeds the ccbench sampled gate)
+	// and one timed functional run (the host-speedup claim).
+	Fast bool
 
 	suite *experiment.Suite
 }
@@ -210,6 +214,20 @@ func (r *Runner) RunWorkload(w Workload) (Sample, error) {
 			w.Name, diffs)
 	}
 	sample.Procs = prof.NamedCosts()
+
+	if r.Fast {
+		fast, err := r.measureFast(w, opts, sample.Sim)
+		if err != nil {
+			return Sample{}, err
+		}
+		sample.Fast = fast
+		if sp, ok := sample.FunctSpeedup(); ok {
+			log.Info("fast", "workload", w.Name,
+				"sampled_cpi", fmt.Sprintf("%.4f", fast.SampledCPI),
+				"drift_pct", fmt.Sprintf("%+.3f", fast.SampledDriftPct),
+				"funct_speedup", fmt.Sprintf("%.1fx", sp))
+		}
+	}
 	return sample, nil
 }
 

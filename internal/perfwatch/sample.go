@@ -142,6 +142,11 @@ type Sample struct {
 	// entries written before the attribution layer existed — comparisons
 	// then simply omit the clause.
 	Procs []profile.NamedCost `json:"procs,omitempty"`
+
+	// Fast is the fast-tier axis (sampled CPI estimate + functional host
+	// speed), collected when Runner.Fast is set. Nil in entries measured
+	// without it — omitted from JSON so older rows stay bit-identical.
+	Fast *FastMetrics `json:"fast,omitempty"`
 }
 
 // simFromCost rebuilds SimMetrics from a profile's whole-run total.
